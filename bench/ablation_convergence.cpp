@@ -1,0 +1,94 @@
+// Ablation: convergence behaviour around psi (Theorems 6.3/6.17 and the
+// Section 7 discussion: "even after as little as 8 million packets, the
+// error reduces to around 1%"), plus the Corollary 6.8 multi-update
+// variant: r independent updates per packet converge r times faster.
+//
+// Reported: mean relative frequency-estimation error over the exact top
+// HHH prefixes, as N grows through psi, for RHHH (r = 1, 2, 4) and 10-RHHH.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_common.hpp"
+
+using namespace rhhh;
+using namespace rhhh::bench;
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  print_figure_header("Ablation: convergence & multi-update (Cor. 6.8)",
+                      "mean relative estimation error vs N, 2D bytes, chicago16",
+                      args);
+
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  std::vector<std::uint64_t> checkpoints;
+  for (const double c : {0.1e6, 0.25e6, 0.5e6, 1.0e6, 2.0e6, 4.0e6}) {
+    checkpoints.push_back(static_cast<std::uint64_t>(c * args.scale));
+  }
+  const std::uint64_t total = checkpoints.back();
+  const auto& keys = trace_keys(h, "chicago16", total);
+
+  struct Config {
+    std::string label;
+    std::uint32_t V;
+    std::uint32_t r;
+  };
+  const auto H = static_cast<std::uint32_t>(h.size());
+  const std::vector<Config> configs = {
+      {"RHHH (r=1)", H, 1},
+      {"RHHH (r=2)", H, 2},
+      {"RHHH (r=4)", H, 4},
+      {"10-RHHH", 10 * H, 1},
+  };
+
+  std::vector<std::unique_ptr<RhhhSpaceSaving>> algs;
+  for (const Config& c : configs) {
+    LatticeParams lp;
+    lp.eps = args.eps;
+    lp.delta = args.delta;
+    lp.seed = args.seed;
+    lp.V = c.V;
+    lp.r = c.r;
+    algs.push_back(std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lp));
+  }
+
+  std::vector<std::string> head = {"config \\ N"};
+  for (const auto cp : checkpoints) head.push_back(fmt(double(cp)));
+  head.emplace_back("psi");
+  print_row(head);
+
+  // Ground truth grows with the stream so each checkpoint is judged against
+  // the exact frequencies *at that point in time*. The error metric tracks
+  // a fixed yardstick -- every prefix with exact f >= theta*N -- so the
+  // sampling noise sqrt(V/N) is visible regardless of what each algorithm
+  // chooses to return.
+  ExactHhh truth(h);
+  std::vector<std::vector<double>> err(configs.size());
+  std::size_t fed = 0;
+  std::size_t fed_truth = 0;
+  for (const auto cp : checkpoints) {
+    for (; fed < cp; ++fed) {
+      for (auto& alg : algs) alg->update(keys[fed]);
+    }
+    for (; fed_truth < cp; ++fed_truth) truth.add(keys[fed_truth]);
+    const std::vector<Prefix> heavy = truth.heavy_prefixes(args.theta);
+    const std::vector<std::uint64_t> f = truth.frequencies(heavy);
+    for (std::size_t a = 0; a < algs.size(); ++a) {
+      double sum = 0;
+      for (std::size_t i = 0; i < heavy.size(); ++i) {
+        sum += std::fabs(algs[a]->estimate(heavy[i]) - double(f[i])) / double(cp);
+      }
+      err[a].push_back(heavy.empty() ? 0.0 : sum / double(heavy.size()));
+    }
+  }
+  for (std::size_t a = 0; a < configs.size(); ++a) {
+    std::vector<std::string> row = {configs[a].label};
+    for (const double e : err[a]) row.push_back(fmt(e));
+    row.push_back(fmt(algs[a]->psi()));
+    print_row(row);
+  }
+  std::printf("\n(expected shape: error ~ sqrt(V/N)/... decaying in N; r=2/r=4 rows\n"
+              " sit below r=1 at equal N -- psi scales as 1/r (Corollary 6.8);\n"
+              " 10-RHHH needs ~10x more packets for the same error)\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "common/bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace rhhh::bench {
+
+Args Args::parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--scale") {
+      a.scale = std::atof(next());
+    } else if (flag == "--runs") {
+      a.runs = std::atoi(next());
+    } else if (flag == "--eps") {
+      a.eps = std::atof(next());
+    } else if (flag == "--delta") {
+      a.delta = std::atof(next());
+    } else if (flag == "--theta") {
+      a.theta = std::atof(next());
+    } else if (flag == "--seed") {
+      a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "options: --scale F (stream length multiplier, default 1)\n"
+          "         --runs N --eps E --delta D --theta T --seed S\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+namespace {
+
+std::map<std::string, std::vector<PacketRecord>>& packet_cache() {
+  static std::map<std::string, std::vector<PacketRecord>> cache;
+  return cache;
+}
+
+}  // namespace
+
+const std::vector<PacketRecord>& trace_packets(const std::string& preset,
+                                               std::size_t n) {
+  auto& slot = packet_cache()[preset];
+  if (slot.size() < n) {
+    TraceGenerator gen(trace_preset(preset));
+    slot = gen.generate(n);
+  }
+  return slot;
+}
+
+const std::vector<Key128>& trace_keys(const Hierarchy& h, const std::string& preset,
+                                      std::size_t n) {
+  // Key caches are per (preset, dims) since the mapping differs.
+  static std::map<std::string, std::vector<Key128>> cache;
+  const std::string id = preset + "/" + std::to_string(h.dims());
+  auto& slot = cache[id];
+  if (slot.size() < n) {
+    const auto& packets = trace_packets(preset, n);
+    slot.clear();
+    slot.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) slot.push_back(h.key_of(packets[i]));
+  }
+  return slot;
+}
+
+std::vector<std::unique_ptr<HhhAlgorithm>> paper_roster(const Hierarchy& h,
+                                                        double eps, double delta,
+                                                        std::uint64_t seed) {
+  LatticeParams lp;
+  lp.eps = eps;
+  lp.delta = delta;
+  lp.seed = seed;
+  std::vector<std::unique_ptr<HhhAlgorithm>> out;
+  out.push_back(std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lp));
+  LatticeParams lp10 = lp;
+  lp10.V = 10 * static_cast<std::uint32_t>(h.size());
+  out.push_back(std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lp10));
+  out.push_back(std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kMst, lp));
+  out.push_back(std::make_unique<TrieHhh>(h, AncestryMode::kPartial, eps));
+  out.push_back(std::make_unique<TrieHhh>(h, AncestryMode::kFull, eps));
+  return out;
+}
+
+void print_figure_header(const std::string& figure, const std::string& caption,
+                         const Args& args) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), caption.c_str());
+  std::printf("params: eps=%g delta=%g theta=%g runs=%d scale=%g\n",
+              args.eps, args.delta, args.theta, args.runs, args.scale);
+  std::printf("================================================================\n");
+}
+
+std::string ci_cell(const RunningStats& stats) {
+  const Interval ci = stats.mean_ci(0.95);
+  const double half = 0.5 * ci.width();
+  char buf[64];
+  if (stats.count() < 2) {
+    std::snprintf(buf, sizeof buf, "%s", fmt(stats.mean()).c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, "%s +-%s", fmt(stats.mean()).c_str(),
+                  fmt(half).c_str());
+  }
+  return buf;
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, i == 0 ? "%-26s" : "%16s", cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string fmt(double v) {
+  char buf[48];
+  const double av = v < 0 ? -v : v;
+  if (v == 0.0) {
+    return "0";
+  } else if (av >= 1e6 || av < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else if (av >= 100) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace rhhh::bench

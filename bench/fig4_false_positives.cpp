@@ -1,0 +1,82 @@
+// Figure 4: false-positive ratio vs stream length, six panels:
+// {SanJose14, Chicago16} x {1D bytes, 1D bits, 2D bytes}.
+// FP ratio = |returned \ exactHHH| / |returned| (paper Section 4.2),
+// measured for eps and theta scaled per DESIGN.md.
+//
+// Expected shape: RHHH/10-RHHH start high (the 2Z*sqrt(NV) slack dominates
+// small N) and drop toward the deterministic algorithms' level once the
+// trace passes psi; deterministic algorithms have a roughly flat, low rate
+// coming only from conservative bound slack.
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_common.hpp"
+
+using namespace rhhh;
+using namespace rhhh::bench;
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  print_figure_header("Figure 4", "False positive ratio vs stream length", args);
+
+  const std::vector<std::string> traces = {"sanjose14", "chicago16"};
+  struct Panel {
+    const char* name;
+    Hierarchy h;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"1D Bytes (H=5)", Hierarchy::ipv4_1d(Granularity::kByte)});
+  panels.push_back({"1D Bits (H=33)", Hierarchy::ipv4_1d(Granularity::kBit)});
+  panels.push_back({"2D Bytes (H=25)", Hierarchy::ipv4_2d(Granularity::kByte)});
+
+  std::vector<std::uint64_t> checkpoints;
+  for (const double c : {0.2e6, 0.5e6, 1.0e6, 2.0e6, 4.0e6}) {
+    checkpoints.push_back(static_cast<std::uint64_t>(c * args.scale));
+  }
+  const std::uint64_t total = checkpoints.back();
+
+  for (const std::string& trace : traces) {
+    for (const Panel& panel : panels) {
+      const auto& keys = trace_keys(panel.h, trace, total);
+      auto roster = paper_roster(panel.h, args.eps, args.delta, args.seed);
+
+      std::printf("\n-- %s - %s --\n", trace.c_str(), panel.name);
+      std::vector<std::string> head = {"algorithm \\ N"};
+      for (const auto cp : checkpoints) head.push_back(fmt(double(cp)));
+      print_row(head);
+
+      ExactHhh truth(panel.h);
+      std::size_t fed = 0;
+      std::size_t fed_truth = 0;
+      std::vector<std::vector<double>> fp(roster.size());
+      std::vector<std::vector<double>> recall(roster.size());
+      for (const auto cp : checkpoints) {
+        for (; fed < cp; ++fed) {
+          for (auto& alg : roster) alg->update(keys[fed]);
+        }
+        for (; fed_truth < cp; ++fed_truth) truth.add(keys[fed_truth]);
+        const HhhSet exact = truth.compute(args.theta);
+        for (std::size_t a = 0; a < roster.size(); ++a) {
+          const FalsePositiveReport rep =
+              false_positives(exact, roster[a]->output(args.theta));
+          fp[a].push_back(rep.ratio());
+          recall[a].push_back(rep.recall());
+        }
+      }
+      for (std::size_t a = 0; a < roster.size(); ++a) {
+        std::vector<std::string> row = {std::string(roster[a]->name())};
+        for (const double r : fp[a]) row.push_back(fmt(r));
+        print_row(row);
+      }
+      std::printf("   (recall of exact HHH set, same order)\n");
+      for (std::size_t a = 0; a < roster.size(); ++a) {
+        std::vector<std::string> row = {std::string(roster[a]->name())};
+        for (const double r : recall[a]) row.push_back(fmt(r));
+        print_row(row);
+      }
+    }
+  }
+  std::printf("\n(expected shape: randomized FP ratios decrease with N and meet\n"
+              " the deterministic algorithms' level near psi)\n");
+  return 0;
+}

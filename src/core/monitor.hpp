@@ -1,0 +1,101 @@
+// HhhMonitor: the library's front door. Picks a hierarchy and an HHH
+// algorithm from a declarative config, consumes packets, and answers HHH
+// queries -- the API the examples and downstream users work against.
+//
+//   MonitorConfig cfg;
+//   cfg.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+//   cfg.algorithm = AlgorithmKind::kRhhh;
+//   HhhMonitor mon(cfg);
+//   for (const PacketRecord& p : trace) mon.update(p);
+//   for (const HhhCandidate& c : mon.query(0.01)) ...
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hhh/lattice_hhh.hpp"
+#include "hhh/trie_hhh.hpp"
+
+namespace rhhh {
+
+enum class HierarchyKind : std::uint8_t {
+  kIpv4OneDimBytes,   // H = 5
+  kIpv4OneDimBits,    // H = 33
+  kIpv4TwoDimBytes,   // H = 25
+  kIpv4TwoDimNibbles, // H = 81
+  kIpv6Bytes,         // H = 17
+  kIpv6Nibbles,       // H = 33
+};
+
+enum class AlgorithmKind : std::uint8_t {
+  kRhhh,         // the paper's contribution, V = H unless overridden
+  kTenRhhh,      // V = 10H ("10-RHHH")
+  kMst,          // deterministic baseline [35]
+  kSampledMst,   // Section 1 strawman
+  kPartialAncestry,
+  kFullAncestry,
+};
+
+[[nodiscard]] std::string_view to_string(HierarchyKind k) noexcept;
+[[nodiscard]] std::string_view to_string(AlgorithmKind k) noexcept;
+
+struct MonitorConfig {
+  HierarchyKind hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  AlgorithmKind algorithm = AlgorithmKind::kRhhh;
+  double eps = 1e-3;
+  double delta = 1e-3;
+  std::uint32_t V = 0;  ///< explicit V for the randomized lattice modes
+  std::uint32_t r = 1;  ///< RHHH multi-update factor (Corollary 6.8)
+  std::uint64_t seed = 1;
+};
+
+/// Builds the hierarchy for a kind (factory shared with benches/tests).
+[[nodiscard]] Hierarchy make_hierarchy(HierarchyKind k);
+
+/// Builds a standalone algorithm over an existing hierarchy.
+[[nodiscard]] std::unique_ptr<HhhAlgorithm> make_algorithm(const Hierarchy& h,
+                                                           const MonitorConfig& cfg);
+
+class HhhMonitor {
+ public:
+  explicit HhhMonitor(MonitorConfig cfg = {});
+
+  /// Per-packet update. IPv4-based hierarchies only (use the algorithm
+  /// directly with Key128 keys for IPv6 streams).
+  void update(const PacketRecord& p) { alg_->update(hierarchy_->key_of(p)); }
+  void update(Ipv4 src, Ipv4 dst) {
+    alg_->update(hierarchy_->dims() == 2 ? Key128::from_pair(src, dst)
+                                         : Key128::from_u32(src));
+  }
+
+  /// The approximate HHH set at threshold theta.
+  [[nodiscard]] HhhSet query(double theta) const { return alg_->output(theta); }
+
+  /// Human-readable report lines, one per HHH, sorted by estimate.
+  [[nodiscard]] std::vector<std::string> report(double theta) const;
+
+  [[nodiscard]] std::uint64_t packets() const noexcept {
+    return alg_->stream_length();
+  }
+  /// Convergence bound (Theorem 6.17); the guarantees hold once
+  /// packets() > psi().
+  [[nodiscard]] double psi() const noexcept { return alg_->psi(); }
+  [[nodiscard]] bool converged() const noexcept {
+    // Deterministic algorithms (psi == 0) carry their guarantees at any N.
+    return psi() == 0.0 || static_cast<double>(packets()) > psi();
+  }
+  void clear() { alg_->clear(); }
+
+  [[nodiscard]] const Hierarchy& hierarchy() const noexcept { return *hierarchy_; }
+  [[nodiscard]] HhhAlgorithm& algorithm() noexcept { return *alg_; }
+  [[nodiscard]] const HhhAlgorithm& algorithm() const noexcept { return *alg_; }
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  MonitorConfig cfg_;
+  std::unique_ptr<Hierarchy> hierarchy_;
+  std::unique_ptr<HhhAlgorithm> alg_;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,74 @@
+// WindowedHhhMonitor: epoch-rotating HHH monitoring with change detection.
+//
+// Anomaly detection (the paper's DDoS motivation, Section 1) needs *change*,
+// not lifetime totals: a /16 that always carries 10% of traffic is
+// backbone weather; one that jumps from 0.5% to 10% inside an epoch is an
+// event. This monitor keeps two same-configuration HHH instances -- the
+// live epoch and the sealed previous epoch -- rotates them every
+// `epoch_packets` updates, and reports "emerging" aggregates: prefixes
+// heavy now whose share grew by at least `growth_factor` since the last
+// epoch. (The paper's own HHH algorithms are interval-oblivious; epoch
+// rotation is the standard deployment pattern around them.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace rhhh {
+
+struct EmergingPrefix {
+  HhhCandidate now;       ///< the candidate in the current epoch
+  double previous_share;  ///< its share in the previous epoch (0 if absent)
+  double share_now;       ///< estimated share in the current epoch
+  [[nodiscard]] double growth() const noexcept {
+    return previous_share <= 0.0 ? share_now / 1e-9 : share_now / previous_share;
+  }
+};
+
+class WindowedHhhMonitor {
+ public:
+  /// `epoch_packets` updates per epoch. The config's eps should be chosen
+  /// so that psi fits inside one epoch (psi <= epoch_packets), otherwise
+  /// early-epoch queries over-report; query `converged_epoch()` to check.
+  WindowedHhhMonitor(MonitorConfig cfg, std::uint64_t epoch_packets);
+
+  void update(const PacketRecord& p);
+  void update(Ipv4 src, Ipv4 dst);
+
+  /// HHH set of the current (partial) epoch.
+  [[nodiscard]] HhhSet current(double theta) const;
+  /// HHH set of the last completed epoch; empty before the first rotation.
+  [[nodiscard]] HhhSet previous(double theta) const;
+
+  /// Prefixes that are HHH now and grew by >= growth_factor vs the previous
+  /// epoch (new prefixes count as infinite growth). Shares are estimates
+  /// relative to each epoch's packet count.
+  [[nodiscard]] std::vector<EmergingPrefix> emerging(double theta,
+                                                     double growth_factor) const;
+
+  [[nodiscard]] std::uint64_t epochs_completed() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t epoch_packets() const noexcept { return epoch_packets_; }
+  [[nodiscard]] std::uint64_t packets_in_epoch() const noexcept {
+    return current_->stream_length();
+  }
+  [[nodiscard]] bool converged_epoch() const noexcept {
+    return current_->psi() == 0.0 ||
+           static_cast<double>(epoch_packets_) > current_->psi();
+  }
+  [[nodiscard]] const Hierarchy& hierarchy() const noexcept { return *hierarchy_; }
+
+ private:
+  void maybe_rotate();
+
+  MonitorConfig cfg_;
+  std::uint64_t epoch_packets_;
+  std::uint64_t epochs_ = 0;
+  std::unique_ptr<Hierarchy> hierarchy_;
+  std::unique_ptr<HhhAlgorithm> current_;
+  std::unique_ptr<HhhAlgorithm> previous_;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,178 @@
+#include "eval/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace rhhh {
+
+void ExactHhh::materialize() const {
+  if (!dirty_) return;
+  keys_.clear();
+  freqs_.clear();
+  keys_.reserve(counts_.size());
+  freqs_.reserve(counts_.size());
+  counts_.for_each([&](const Key128& k, const std::uint64_t& f) {
+    keys_.push_back(k);
+    freqs_.push_back(f);
+  });
+  dirty_ = false;
+}
+
+HhhSet ExactHhh::compute(double theta) const {
+  materialize();
+  HhhSet P(h_->size());
+  if (n_ == 0) return P;
+  const double thresh = theta * static_cast<double>(n_);
+  const std::size_t U = keys_.size();
+  std::vector<std::uint8_t> covered(U, 0);
+
+  // Per-prefix (full mass, uncovered mass) accumulator, rebuilt per node.
+  struct Mass {
+    std::uint64_t full = 0;
+    std::uint64_t uncov = 0;
+  };
+
+  for (int level = 0; level < h_->num_levels(); ++level) {
+    const auto nodes = h_->nodes_at_level(level);
+    // Accepted prefixes per node of this level, used to mark coverage after
+    // the whole level is decided (Definition 8 conditions level l on
+    // HHH_{l-1} only).
+    std::vector<FlatHashMap<Key128, std::uint8_t>> accepted;
+    accepted.reserve(nodes.size());
+    bool any_accepted = false;
+
+    for (const std::uint32_t node : nodes) {
+      const Key128 mask = h_->node(node).mask;
+      FlatHashMap<Key128, Mass> agg(1 << 12);
+      for (std::size_t i = 0; i < U; ++i) {
+        Mass& m = agg[keys_[i] & mask];
+        m.full += freqs_[i];
+        if (!covered[i]) m.uncov += freqs_[i];
+      }
+      FlatHashMap<Key128, std::uint8_t> acc(64);
+      agg.for_each([&](const Key128& key, const Mass& m) {
+        if (static_cast<double>(m.uncov) >= thresh) {
+          const Prefix p{node, key};
+          P.add(HhhCandidate{p, static_cast<double>(m.full),
+                             static_cast<double>(m.full),
+                             static_cast<double>(m.full),
+                             static_cast<double>(m.uncov)});
+          acc.insert_or_assign(key, 1);
+          any_accepted = true;
+        }
+      });
+      accepted.push_back(std::move(acc));
+    }
+
+    if (!any_accepted) continue;
+    for (std::size_t i = 0; i < U; ++i) {
+      if (covered[i]) continue;
+      for (std::size_t nidx = 0; nidx < nodes.size(); ++nidx) {
+        if (accepted[nidx].empty()) continue;
+        const Key128 mask = h_->node(nodes[nidx]).mask;
+        if (accepted[nidx].contains(keys_[i] & mask)) {
+          covered[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return P;
+}
+
+std::vector<std::uint64_t> ExactHhh::frequencies(std::span<const Prefix> ps) const {
+  materialize();
+  std::vector<std::uint64_t> out(ps.size(), 0);
+  // Group queried prefixes by node; accumulate only the queried prefixes
+  // (cheaper than aggregating every prefix when |ps| << distinct keys).
+  std::vector<FlatHashMap<Key128, std::uint32_t>> queried(h_->size());
+  std::vector<std::uint32_t> nodes_used;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (queried[ps[i].node].empty()) nodes_used.push_back(ps[i].node);
+    queried[ps[i].node].insert_or_assign(ps[i].key, static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    for (const std::uint32_t node : nodes_used) {
+      const Key128 masked = keys_[i] & h_->node(node).mask;
+      if (const std::uint32_t* qi = queried[node].find(masked)) {
+        out[*qi] += freqs_[i];
+      }
+    }
+  }
+  // Duplicate queries resolved to one accumulator slot; copy the result out.
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = out[*queried[ps[i].node].find(ps[i].key)];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ExactHhh::covered_by(const HhhSet& P) const {
+  std::vector<std::uint8_t> covered(keys_.size(), 0);
+  std::vector<std::uint32_t> p_nodes;
+  for (std::uint32_t node = 0; node < h_->size(); ++node) {
+    if (!P.at_node(node).empty()) p_nodes.push_back(node);
+  }
+  std::vector<FlatHashMap<Key128, std::uint8_t>> members;
+  members.reserve(p_nodes.size());
+  for (const std::uint32_t node : p_nodes) {
+    FlatHashMap<Key128, std::uint8_t> m(2 * P.at_node(node).size() + 16);
+    for (const std::uint32_t idx : P.at_node(node)) {
+      m.insert_or_assign(P[idx].prefix.key, 1);
+    }
+    members.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    for (std::size_t j = 0; j < p_nodes.size(); ++j) {
+      const Key128 mask = h_->node(p_nodes[j]).mask;
+      if (members[j].contains(keys_[i] & mask)) {
+        covered[i] = 1;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+std::vector<std::uint64_t> ExactHhh::conditioned(std::span<const Prefix> qs,
+                                                 const HhhSet& P) const {
+  materialize();
+  std::vector<std::uint64_t> out(qs.size(), 0);
+  const std::vector<std::uint8_t> covered = covered_by(P);
+
+  std::vector<FlatHashMap<Key128, std::uint32_t>> queried(h_->size());
+  std::vector<std::uint32_t> nodes_used;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (queried[qs[i].node].empty()) nodes_used.push_back(qs[i].node);
+    queried[qs[i].node].insert_or_assign(qs[i].key, static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (covered[i]) continue;
+    for (const std::uint32_t node : nodes_used) {
+      const Key128 masked = keys_[i] & h_->node(node).mask;
+      if (const std::uint32_t* qi = queried[node].find(masked)) {
+        out[*qi] += freqs_[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    out[i] = out[*queried[qs[i].node].find(qs[i].key)];
+  }
+  return out;
+}
+
+std::vector<Prefix> ExactHhh::heavy_prefixes(double theta) const {
+  materialize();
+  std::vector<Prefix> out;
+  if (n_ == 0) return out;
+  const double thresh = theta * static_cast<double>(n_);
+  for (std::uint32_t node = 0; node < h_->size(); ++node) {
+    const Key128 mask = h_->node(node).mask;
+    FlatHashMap<Key128, std::uint64_t> agg(1 << 12);
+    for (std::size_t i = 0; i < keys_.size(); ++i) agg[keys_[i] & mask] += freqs_[i];
+    agg.for_each([&](const Key128& key, const std::uint64_t& f) {
+      if (static_cast<double>(f) >= thresh) out.push_back(Prefix{node, key});
+    });
+  }
+  return out;
+}
+
+}  // namespace rhhh

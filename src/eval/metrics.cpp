@@ -1,0 +1,54 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace rhhh {
+
+AccuracyReport accuracy_errors(const ExactHhh& truth, const HhhSet& P, double eps) {
+  AccuracyReport rep;
+  rep.candidates = P.size();
+  if (P.empty()) return rep;
+  std::vector<Prefix> ps;
+  ps.reserve(P.size());
+  for (const HhhCandidate& c : P) ps.push_back(c.prefix);
+  const std::vector<std::uint64_t> f = truth.frequencies(ps);
+  const double bound = eps * static_cast<double>(truth.stream_length());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double err = std::fabs(P[i].f_est - static_cast<double>(f[i]));
+    if (err > bound) ++rep.errors;
+  }
+  return rep;
+}
+
+CoverageReport coverage_errors(const ExactHhh& truth, const HhhSet& P, double theta) {
+  CoverageReport rep;
+  std::vector<Prefix> heavy = truth.heavy_prefixes(theta);
+  std::vector<Prefix> missing;
+  for (const Prefix& q : heavy) {
+    if (!P.contains(q)) missing.push_back(q);
+  }
+  rep.candidates = missing.size();
+  if (missing.empty()) return rep;
+  const std::vector<std::uint64_t> c = truth.conditioned(missing, P);
+  const double thresh = theta * static_cast<double>(truth.stream_length());
+  for (const std::uint64_t ci : c) {
+    if (static_cast<double>(ci) >= thresh) ++rep.misses;
+  }
+  return rep;
+}
+
+FalsePositiveReport false_positives(const HhhSet& exact, const HhhSet& returned) {
+  FalsePositiveReport rep;
+  rep.returned = returned.size();
+  rep.exact_size = exact.size();
+  for (const HhhCandidate& c : returned) {
+    if (!exact.contains(c.prefix)) ++rep.false_positives;
+  }
+  for (const HhhCandidate& c : exact) {
+    if (returned.contains(c.prefix)) ++rep.exact_found;
+  }
+  return rep;
+}
+
+}  // namespace rhhh

@@ -1,0 +1,45 @@
+// Common vocabulary for heavy-hitter counter backends.
+//
+// RHHH is backend-agnostic (paper Definition 4): any counter algorithm that
+// solves (eps, delta)-Frequency Estimation and can enumerate its heavy
+// hitters plugs into the lattice. Every backend in src/hh implements:
+//
+//   void   increment(const Key&, uint64_t w)   -- process one arrival
+//   uint64_t upper(const Key&) const           -- upper bound on arrivals
+//   uint64_t lower(const Key&) const           -- lower bound on arrivals
+//   uint64_t total() const                     -- arrivals seen
+//   void   for_each(f) const                   -- f(key, upper, lower) per
+//                                                  tracked candidate
+//   std::vector<HhEntry<Key>> entries() const
+//   void   clear()
+//   static B make(const BackendConfig&)        -- uniform construction
+//
+// Bounds contract: lower(k) <= f_k <= upper(k) for every key (for the
+// sketch backend the upper/lower bounds hold with probability 1 - delta_a,
+// which Definition 4 permits).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rhhh {
+
+template <class Key>
+struct HhEntry {
+  Key key{};
+  std::uint64_t upper = 0;
+  std::uint64_t lower = 0;
+};
+
+/// Uniform construction parameters for all backends. `capacity` is the
+/// number of tracked counters (Space-Saving / Misra-Gries); eps_a = 1 /
+/// capacity is the equivalent additive-error parameter used by the
+/// window/sketch backends.
+struct BackendConfig {
+  std::size_t capacity = 1000;
+  double eps_a = 1e-3;
+  double delta_a = 1e-3;  ///< only the sketch backend consumes this
+  std::uint64_t seed = 0;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,143 @@
+// Count-Min sketch [Cormode & Muthukrishnan, J. Algorithms'05] with a
+// tracked-candidate list.
+//
+// The paper notes (after Definition 4) that sketches are applicable as the
+// per-node algorithm provided each sketch also maintains a list of heavy
+// hitter items (Definition 5); this backend does exactly that: a depth x
+// width counter array for estimation plus a bounded candidate set that keeps
+// the highest-estimate keys for enumeration.
+//
+// Bounds (w.p. >= 1 - delta_a per key): f <= upper(k) <= f + eps_a * N.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hh/backend.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+template <class Key, class Hash = KeyHash<Key>>
+class CountMinHh {
+ public:
+  CountMinHh(double eps, double delta, std::size_t track_capacity,
+             std::uint64_t seed)
+      : eps_(eps), track_cap_(track_capacity) {
+    if (!(eps > 0.0) || eps >= 1.0) {
+      throw std::invalid_argument("CountMinHh: eps must be in (0,1)");
+    }
+    if (!(delta > 0.0) || delta >= 1.0) {
+      throw std::invalid_argument("CountMinHh: delta must be in (0,1)");
+    }
+    if (track_capacity == 0) {
+      throw std::invalid_argument("CountMinHh: track capacity must be > 0");
+    }
+    width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+    depth_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(std::log(1.0 / delta))));
+    rows_.assign(width_ * depth_, 0);
+    row_seed_.resize(depth_);
+    for (std::size_t d = 0; d < depth_; ++d) row_seed_[d] = mix64(seed + d + 1);
+    tracked_.reserve(2 * track_cap_ + 1);
+  }
+
+  [[nodiscard]] static CountMinHh make(const BackendConfig& cfg) {
+    return CountMinHh(cfg.eps_a, cfg.delta_a, cfg.capacity, cfg.seed);
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    if (w == 0) return;
+    total_ += w;
+    const std::uint64_t h = Hash{}(k);
+    std::uint64_t est = UINT64_MAX;
+    for (std::size_t d = 0; d < depth_; ++d) {
+      std::uint64_t& cell = rows_[d * width_ + slot(h, d)];
+      cell += w;
+      est = std::min(est, cell);
+    }
+    track(k, est);
+  }
+
+  /// Point estimate from the sketch; an upper bound on f w.h.p.
+  [[nodiscard]] std::uint64_t upper(const Key& k) const noexcept {
+    const std::uint64_t h = Hash{}(k);
+    std::uint64_t est = UINT64_MAX;
+    for (std::size_t d = 0; d < depth_; ++d) {
+      est = std::min(est, rows_[d * width_ + slot(h, d)]);
+    }
+    return est;
+  }
+  /// est - eps*N: a lower bound w.p. 1 - delta_a.
+  [[nodiscard]] std::uint64_t lower(const Key& k) const noexcept {
+    const std::uint64_t up = upper(k);
+    const auto slack = static_cast<std::uint64_t>(eps_ * static_cast<double>(total_));
+    return up > slack ? up - slack : 0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tracked_.size(); }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  template <class F>
+  void for_each(F&& f) const {
+    tracked_.for_each([&](const Key& k, const std::uint64_t&) {
+      const std::uint64_t up = upper(k);
+      f(k, up, lower(k) < up ? lower(k) : up);
+    });
+  }
+
+  [[nodiscard]] std::vector<HhEntry<Key>> entries() const {
+    std::vector<HhEntry<Key>> out;
+    out.reserve(tracked_.size());
+    for_each([&](const Key& k, std::uint64_t up, std::uint64_t lo) {
+      out.push_back(HhEntry<Key>{k, up, lo});
+    });
+    return out;
+  }
+
+  void clear() {
+    std::fill(rows_.begin(), rows_.end(), 0);
+    tracked_.clear();
+    total_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::uint64_t h, std::size_t d) const noexcept {
+    return static_cast<std::size_t>(mix64(h ^ row_seed_[d]) % width_);
+  }
+
+  /// Keep up to 2*cap candidates; when exceeded, prune to the top cap by
+  /// current estimate (amortized O(1) per update).
+  void track(const Key& k, std::uint64_t est) {
+    tracked_.insert_or_assign(k, est);
+    if (tracked_.size() <= 2 * track_cap_) return;
+    std::vector<std::pair<std::uint64_t, Key>> all;
+    all.reserve(tracked_.size());
+    tracked_.for_each([&](const Key& key, const std::uint64_t& e) {
+      all.emplace_back(e, key);
+    });
+    std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(track_cap_),
+                     all.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    tracked_.clear();
+    for (std::size_t i = 0; i < track_cap_; ++i) {
+      tracked_.insert_or_assign(all[i].second, all[i].first);
+    }
+  }
+
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint64_t> row_seed_;
+  FlatHashMap<Key, std::uint64_t, Hash> tracked_{64};
+  double eps_;
+  std::size_t width_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t track_cap_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rhhh

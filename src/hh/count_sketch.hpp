@@ -1,0 +1,150 @@
+// Count Sketch [Charikar, Chen & Farach-Colton, ICALP'02] with a tracked
+// top-k candidate list -- the second sketch family the paper cites as
+// applicable per-node structure (reference [9], discussed after
+// Definition 4).
+//
+// Each row adds a random sign; the estimate is the median across rows, so
+// unlike Count-Min the error is two-sided but unbiased:
+// |est - f| <= eps * N per row pair w.h.p. for the depths used here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hh/backend.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+template <class Key, class Hash = KeyHash<Key>>
+class CountSketchHh {
+ public:
+  CountSketchHh(double eps, double delta, std::size_t track_capacity,
+                std::uint64_t seed)
+      : eps_(eps), track_cap_(track_capacity) {
+    if (!(eps > 0.0) || eps >= 1.0) {
+      throw std::invalid_argument("CountSketchHh: eps must be in (0,1)");
+    }
+    if (!(delta > 0.0) || delta >= 1.0) {
+      throw std::invalid_argument("CountSketchHh: delta must be in (0,1)");
+    }
+    if (track_capacity == 0) {
+      throw std::invalid_argument("CountSketchHh: track capacity must be > 0");
+    }
+    width_ = static_cast<std::size_t>(std::ceil(3.0 / (eps * eps))) | 1;
+    // Count Sketch widths grow as eps^-2; cap the table so the backend stays
+    // usable at small eps (the error guarantee then degrades gracefully,
+    // which the ablation reports honestly).
+    width_ = std::min<std::size_t>(width_, 1 << 16);
+    depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta))) | 1;  // odd
+    rows_.assign(width_ * depth_, 0);
+    row_seed_.resize(depth_);
+    for (std::size_t d = 0; d < depth_; ++d) row_seed_[d] = mix64(seed + 31 * d + 7);
+    tracked_.reserve(2 * track_cap_ + 1);
+  }
+
+  [[nodiscard]] static CountSketchHh make(const BackendConfig& cfg) {
+    return CountSketchHh(cfg.eps_a, cfg.delta_a, cfg.capacity, cfg.seed);
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    if (w == 0) return;
+    total_ += w;
+    const std::uint64_t h = Hash{}(k);
+    for (std::size_t d = 0; d < depth_; ++d) {
+      const std::uint64_t hd = mix64(h ^ row_seed_[d]);
+      const std::size_t slot = static_cast<std::size_t>(hd % width_);
+      const std::int64_t sign = (hd >> 63) != 0 ? 1 : -1;
+      rows_[d * width_ + slot] += sign * static_cast<std::int64_t>(w);
+    }
+    track(k);
+  }
+
+  /// Median-of-rows point estimate (can be negative for cold keys).
+  [[nodiscard]] std::int64_t estimate(const Key& k) const {
+    std::vector<std::int64_t> est(depth_);
+    const std::uint64_t h = Hash{}(k);
+    for (std::size_t d = 0; d < depth_; ++d) {
+      const std::uint64_t hd = mix64(h ^ row_seed_[d]);
+      const std::size_t slot = static_cast<std::size_t>(hd % width_);
+      const std::int64_t sign = (hd >> 63) != 0 ? 1 : -1;
+      est[d] = sign * rows_[d * width_ + slot];
+    }
+    std::nth_element(est.begin(), est.begin() + static_cast<std::ptrdiff_t>(depth_ / 2),
+                     est.end());
+    return est[depth_ / 2];
+  }
+
+  [[nodiscard]] std::uint64_t upper(const Key& k) const {
+    const std::int64_t e = estimate(k);
+    const auto slack = static_cast<std::int64_t>(eps_ * static_cast<double>(total_));
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(0, e + slack));
+  }
+  [[nodiscard]] std::uint64_t lower(const Key& k) const {
+    const std::int64_t e = estimate(k);
+    const auto slack = static_cast<std::int64_t>(eps_ * static_cast<double>(total_));
+    return static_cast<std::uint64_t>(std::max<std::int64_t>(0, e - slack));
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tracked_.size(); }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  template <class F>
+  void for_each(F&& f) const {
+    tracked_.for_each([&](const Key& k, const std::uint64_t&) {
+      const std::uint64_t up = upper(k);
+      const std::uint64_t lo = lower(k);
+      f(k, up, lo < up ? lo : up);
+    });
+  }
+
+  [[nodiscard]] std::vector<HhEntry<Key>> entries() const {
+    std::vector<HhEntry<Key>> out;
+    out.reserve(tracked_.size());
+    for_each([&](const Key& k, std::uint64_t up, std::uint64_t lo) {
+      out.push_back(HhEntry<Key>{k, up, lo});
+    });
+    return out;
+  }
+
+  void clear() {
+    std::fill(rows_.begin(), rows_.end(), 0);
+    tracked_.clear();
+    total_ = 0;
+  }
+
+ private:
+  void track(const Key& k) {
+    tracked_.insert_or_assign(k, 1);
+    if (tracked_.size() <= 2 * track_cap_) return;
+    std::vector<std::pair<std::int64_t, Key>> all;
+    all.reserve(tracked_.size());
+    tracked_.for_each([&](const Key& key, const std::uint64_t&) {
+      all.emplace_back(estimate(key), key);
+    });
+    std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(track_cap_),
+                     all.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    tracked_.clear();
+    for (std::size_t i = 0; i < track_cap_; ++i) {
+      tracked_.insert_or_assign(all[i].second, 1);
+    }
+  }
+
+  std::vector<std::int64_t> rows_;
+  std::vector<std::uint64_t> row_seed_;
+  FlatHashMap<Key, std::uint64_t, Hash> tracked_{64};
+  double eps_;
+  std::size_t width_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t track_cap_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rhhh

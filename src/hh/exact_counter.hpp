@@ -1,0 +1,67 @@
+// ExactCounter: an unbounded hash-map backend.
+//
+// Not a streaming algorithm -- memory grows with distinct keys -- but a
+// valuable oracle: plugged into LatticeHhh it isolates the error introduced
+// by *sampling* (RHHH's randomization) from the error introduced by the
+// bounded per-node counters, and it serves as a differential-testing
+// reference for the approximate backends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hh/backend.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+template <class Key, class Hash = KeyHash<Key>>
+class ExactCounter {
+ public:
+  ExactCounter() : counts_(1 << 10) {}
+
+  [[nodiscard]] static ExactCounter make(const BackendConfig&) {
+    return ExactCounter();
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    if (w == 0) return;
+    counts_[k] += w;
+    total_ += w;
+  }
+
+  [[nodiscard]] std::uint64_t upper(const Key& k) const noexcept {
+    const std::uint64_t* v = counts_.find(k);
+    return v != nullptr ? *v : 0;
+  }
+  [[nodiscard]] std::uint64_t lower(const Key& k) const noexcept { return upper(k); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+
+  template <class F>
+  void for_each(F&& f) const {
+    counts_.for_each(
+        [&](const Key& k, const std::uint64_t& c) { f(k, c, c); });
+  }
+
+  [[nodiscard]] std::vector<HhEntry<Key>> entries() const {
+    std::vector<HhEntry<Key>> out;
+    out.reserve(counts_.size());
+    for_each([&](const Key& k, std::uint64_t up, std::uint64_t lo) {
+      out.push_back(HhEntry<Key>{k, up, lo});
+    });
+    return out;
+  }
+
+  void clear() {
+    counts_.clear();
+    total_ = 0;
+  }
+
+ private:
+  FlatHashMap<Key, std::uint64_t, Hash> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,121 @@
+// Lossy Counting [Manku & Motwani, VLDB'02].
+//
+// Window-based heavy-hitter backend: the stream is cut into windows of
+// w = ceil(1/eps) arrivals; at each boundary, entries whose (count + delta)
+// fall at or below the current window index are pruned. Tracked entries
+// satisfy f - eps*N <= count <= f; count + delta >= f.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hh/backend.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+template <class Key, class Hash = KeyHash<Key>>
+class LossyCounting {
+ public:
+  explicit LossyCounting(double eps) : eps_(eps) {
+    if (!(eps > 0.0) || eps >= 1.0) {
+      throw std::invalid_argument("LossyCounting: eps must be in (0,1)");
+    }
+    window_ = static_cast<std::uint64_t>(std::ceil(1.0 / eps));
+    next_prune_ = window_;
+  }
+
+  [[nodiscard]] static LossyCounting make(const BackendConfig& cfg) {
+    return LossyCounting(cfg.eps_a);
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    if (w == 0) return;
+    total_ += w;
+    if (std::uint64_t* g = cells_.find(k)) {
+      *g += w;
+    } else {
+      // delta = bucket-1 is stored implicitly: cells track g only and the
+      // per-entry delta in deltas_ (parallel map would double lookups; store
+      // packed instead).
+      cells_.try_emplace(k, pack(w, bucket_ - 1));
+    }
+    while (total_ >= next_prune_) {
+      ++bucket_;
+      prune();
+      next_prune_ += window_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t upper(const Key& k) const noexcept {
+    const std::uint64_t* c = cells_.find(k);
+    return c != nullptr ? g_of(*c) + d_of(*c) : bucket_ - 1;
+  }
+  [[nodiscard]] std::uint64_t lower(const Key& k) const noexcept {
+    const std::uint64_t* c = cells_.find(k);
+    return c != nullptr ? g_of(*c) : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
+  template <class F>
+  void for_each(F&& f) const {
+    cells_.for_each([&](const Key& k, const std::uint64_t& c) {
+      f(k, g_of(c) + d_of(c), g_of(c));
+    });
+  }
+
+  [[nodiscard]] std::vector<HhEntry<Key>> entries() const {
+    std::vector<HhEntry<Key>> out;
+    out.reserve(cells_.size());
+    for_each([&](const Key& k, std::uint64_t up, std::uint64_t lo) {
+      out.push_back(HhEntry<Key>{k, up, lo});
+    });
+    return out;
+  }
+
+  void clear() {
+    cells_.clear();
+    total_ = 0;
+    bucket_ = 1;
+    next_prune_ = window_;
+  }
+
+ private:
+  // g in the low 40 bits, delta in the high 24 (delta <= number of windows,
+  // which stays far below 2^24 for any stream this library targets; g is
+  // additionally bounded by the stream length).
+  static constexpr int kGBits = 40;
+  [[nodiscard]] static constexpr std::uint64_t pack(std::uint64_t g,
+                                                    std::uint64_t d) noexcept {
+    return g | (d << kGBits);
+  }
+  [[nodiscard]] static constexpr std::uint64_t g_of(std::uint64_t c) noexcept {
+    return c & ((std::uint64_t{1} << kGBits) - 1);
+  }
+  [[nodiscard]] static constexpr std::uint64_t d_of(std::uint64_t c) noexcept {
+    return c >> kGBits;
+  }
+
+  void prune() {
+    dead_.clear();
+    cells_.for_each([&](const Key& k, std::uint64_t& c) {
+      if (g_of(c) + d_of(c) <= bucket_ - 1) dead_.push_back(k);
+    });
+    for (const Key& k : dead_) cells_.erase(k);
+  }
+
+  FlatHashMap<Key, std::uint64_t, Hash> cells_{64};
+  std::vector<Key> dead_;
+  double eps_;
+  std::uint64_t window_ = 0;
+  std::uint64_t next_prune_ = 0;
+  std::uint64_t bucket_ = 1;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rhhh

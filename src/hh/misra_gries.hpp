@@ -1,0 +1,100 @@
+// Misra-Gries / "Frequent" [Karp, Shenker & Papadimitriou, TODS'03].
+//
+// Alternate heavy-hitter backend for the Definition 4 ablation: k counters,
+// arrivals of untracked keys when full trigger a decrement-all by the
+// minimum count. Amortized O(1) per unit update (each decrement-all is paid
+// for by the mass it removes), worst case O(k).
+//
+// Bounds (N = total arrivals): count <= f <= count + dec, dec <= N/(k+1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hh/backend.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+template <class Key, class Hash = KeyHash<Key>>
+class MisraGries {
+ public:
+  explicit MisraGries(std::size_t k) : counts_(2 * k), k_(k) {
+    if (k == 0) throw std::invalid_argument("MisraGries: capacity must be > 0");
+    counts_.reserve(k_ + 1);
+  }
+
+  [[nodiscard]] static MisraGries make(const BackendConfig& cfg) {
+    return MisraGries(cfg.capacity);
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    if (w == 0) return;
+    total_ += w;
+    if (std::uint64_t* v = counts_.find(k)) {
+      *v += w;
+      return;
+    }
+    counts_.try_emplace(k, w);
+    if (counts_.size() <= k_) return;
+
+    // Decrement everything by the minimum; at least one counter hits zero.
+    std::uint64_t m = UINT64_MAX;
+    counts_.for_each([&](const Key&, std::uint64_t& c) {
+      if (c < m) m = c;
+    });
+    dec_ += m;
+    dead_.clear();
+    counts_.for_each([&](const Key& key, std::uint64_t& c) {
+      c -= m;
+      if (c == 0) dead_.push_back(key);
+    });
+    for (const Key& key : dead_) counts_.erase(key);
+  }
+
+  [[nodiscard]] std::uint64_t upper(const Key& k) const noexcept {
+    const std::uint64_t* v = counts_.find(k);
+    return (v != nullptr ? *v : 0) + dec_;
+  }
+  [[nodiscard]] std::uint64_t lower(const Key& k) const noexcept {
+    const std::uint64_t* v = counts_.find(k);
+    return v != nullptr ? *v : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return k_; }
+  /// Total decrement mass (the additive error bound for every key).
+  [[nodiscard]] std::uint64_t decrements() const noexcept { return dec_; }
+
+  template <class F>
+  void for_each(F&& f) const {
+    counts_.for_each(
+        [&](const Key& k, const std::uint64_t& c) { f(k, c + dec_, c); });
+  }
+
+  [[nodiscard]] std::vector<HhEntry<Key>> entries() const {
+    std::vector<HhEntry<Key>> out;
+    out.reserve(counts_.size());
+    for_each([&](const Key& k, std::uint64_t up, std::uint64_t lo) {
+      out.push_back(HhEntry<Key>{k, up, lo});
+    });
+    return out;
+  }
+
+  void clear() {
+    counts_.clear();
+    total_ = 0;
+    dec_ = 0;
+  }
+
+ private:
+  FlatHashMap<Key, std::uint64_t, Hash> counts_;
+  std::vector<Key> dead_;
+  std::size_t k_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dec_ = 0;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,68 @@
+#include "hhh/conditioned.hpp"
+
+namespace rhhh {
+
+std::vector<std::uint32_t> best_generalized(const Hierarchy& h, const Prefix& p,
+                                            const HhhSet& P) {
+  // Collect every member of P strictly generalized by p. Only lattice nodes
+  // strictly below p's node pattern can hold such members.
+  std::vector<std::uint32_t> covered;
+  const std::size_t H = h.size();
+  for (std::uint32_t nd = 0; nd < H; ++nd) {
+    if (nd == p.node || !h.node_generalizes(p.node, nd)) continue;
+    for (std::uint32_t idx : P.at_node(nd)) {
+      const Prefix& q = P[idx].prefix;
+      if ((q.key & h.node(p.node).mask) == p.key) covered.push_back(idx);
+    }
+  }
+  if (covered.size() <= 1) return covered;
+
+  // Keep only the maximal elements: drop h if some other covered member
+  // strictly generalizes it (Definition 2's "no h' between h and p").
+  std::vector<std::uint32_t> maximal;
+  maximal.reserve(covered.size());
+  for (std::uint32_t i : covered) {
+    bool dominated = false;
+    for (std::uint32_t j : covered) {
+      if (i == j) continue;
+      if (h.strictly_generalizes(P[j].prefix, P[i].prefix)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(i);
+  }
+  return maximal;
+}
+
+double calc_pred(const Hierarchy& h, const Prefix& p, const HhhSet& P,
+                 const std::vector<std::uint32_t>& g_set,
+                 const UpperEstimate& upper_estimate) {
+  (void)p;
+  double r = 0.0;
+  for (std::uint32_t i : g_set) r -= P[i].f_lo;  // Algorithm 2/3 line 4
+
+  if (h.dims() == 2 && g_set.size() >= 2) {
+    // Inclusion-exclusion add-back (Algorithm 3 lines 6-11): for each pair,
+    // add back the glb's upper bound unless a third member of G(p|P)
+    // generalizes it (its mass was then only subtracted once).
+    for (std::size_t a = 0; a < g_set.size(); ++a) {
+      for (std::size_t b = a + 1; b < g_set.size(); ++b) {
+        const auto q = h.glb(P[g_set[a]].prefix, P[g_set[b]].prefix);
+        if (!q.has_value()) continue;  // incompatible: count-0 item (Def. 12)
+        bool third_covers = false;
+        for (std::size_t c = 0; c < g_set.size(); ++c) {
+          if (c == a || c == b) continue;
+          if (h.generalizes(P[g_set[c]].prefix, *q)) {
+            third_covers = true;
+            break;
+          }
+        }
+        if (!third_covers) r += upper_estimate(*q);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace rhhh

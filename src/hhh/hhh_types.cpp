@@ -1,0 +1,7 @@
+#include "hhh/hhh_types.hpp"
+
+namespace rhhh {
+
+// HhhAlgorithm's key is out-of-line so the vtable has a home TU.
+
+}  // namespace rhhh

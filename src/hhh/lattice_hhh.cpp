@@ -1,0 +1,205 @@
+#include "hhh/lattice_hhh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rhhh {
+
+template <class Backend>
+LatticeHhh<Backend>::LatticeHhh(const Hierarchy& h, LatticeMode mode, LatticeParams p)
+    : h_(&h), mode_(mode), p_(p), rng_(p.seed) {
+  H_ = static_cast<std::uint32_t>(h.size());
+  if (!(p_.eps > 0.0) || p_.eps >= 1.0) {
+    throw std::invalid_argument("LatticeHhh: eps must be in (0,1)");
+  }
+  if (!(p_.delta > 0.0) || p_.delta >= 1.0) {
+    throw std::invalid_argument("LatticeHhh: delta must be in (0,1)");
+  }
+  if (p_.r == 0) throw std::invalid_argument("LatticeHhh: r must be >= 1");
+
+  V_ = (p_.V == 0) ? H_ : p_.V;
+  if (V_ < H_) throw std::invalid_argument("LatticeHhh: V must be >= H");
+  if (mode_ == LatticeMode::kMst) V_ = H_;  // unused by the update rule
+  if (mode_ != LatticeMode::kRhhh && p_.r != 1) {
+    throw std::invalid_argument("LatticeHhh: r applies to RHHH only");
+  }
+
+  // Error-budget split (Theorem 6.6): eps = eps_a + eps_s,
+  // delta = delta_a + 2*delta_s. MST is deterministic: no sampling share.
+  if (mode_ == LatticeMode::kMst) {
+    eps_a_ = p_.eps;
+    eps_s_ = 0.0;
+    delta_a_ = p_.delta;
+    delta_s_ = 0.0;
+    scale_ = 1.0;
+  } else {
+    eps_a_ = 0.5 * p_.eps;
+    eps_s_ = 0.5 * p_.eps;
+    delta_a_ = p_.delta / 3.0;
+    delta_s_ = p_.delta / 3.0;
+    scale_ = (mode_ == LatticeMode::kRhhh)
+                 ? static_cast<double>(V_) / static_cast<double>(p_.r)
+                 : static_cast<double>(V_) / static_cast<double>(H_);
+  }
+
+  // Over-sample compensation (Section 6.1): size each instance for
+  // eps_a' = eps_a / (1 + eps_s), i.e. ceil((1+eps_s)/eps_a) counters --
+  // the paper's "1000 counters become 1001" example.
+  counters_ = p_.counters_override != 0
+                  ? p_.counters_override
+                  : static_cast<std::size_t>(std::ceil((1.0 + eps_s_) / eps_a_));
+  z_corr_ = z_value(1.0 - p_.delta / 8.0);
+
+  BackendConfig cfg;
+  cfg.capacity = counters_;
+  cfg.eps_a = 1.0 / static_cast<double>(counters_);
+  cfg.delta_a = delta_a_;
+  hh_.reserve(H_);
+  for (std::uint32_t d = 0; d < H_; ++d) {
+    cfg.seed = mix64(p_.seed ^ (0x5851f42d4c957f2dULL + d));
+    hh_.push_back(Backend::make(cfg));
+  }
+
+  name_ = std::string(to_string(mode_));
+  if (mode_ != LatticeMode::kMst && V_ != H_) {
+    // Annotate non-default V as in the paper ("10-RHHH" for V = 10H).
+    if (V_ % H_ == 0) {
+      name_ = std::to_string(V_ / H_) + "-" + name_;
+    } else {
+      name_ += "(V=" + std::to_string(V_) + ")";
+    }
+  }
+  if (p_.r > 1) name_ += "(r=" + std::to_string(p_.r) + ")";
+}
+
+template <class Backend>
+void LatticeHhh<Backend>::update_weighted(Key128 x, std::uint64_t w) {
+  if (w == 0) return;
+  n_ += w;
+  switch (mode_) {
+    case LatticeMode::kRhhh:
+      for (std::uint32_t i = 0; i < p_.r; ++i) {
+        const std::uint32_t d = rng_.bounded(V_);
+        if (d < H_) {
+          hh_[d].increment(h_->mask_key(d, x), w);
+          ++updates_;
+        }
+      }
+      break;
+    case LatticeMode::kMst:
+      for (std::uint32_t d = 0; d < H_; ++d) {
+        hh_[d].increment(h_->mask_key(d, x), w);
+      }
+      updates_ += H_;
+      break;
+    case LatticeMode::kSampledMst:
+      if (rng_.bounded(V_) < H_) {
+        for (std::uint32_t d = 0; d < H_; ++d) {
+          hh_[d].increment(h_->mask_key(d, x), w);
+        }
+        updates_ += H_;
+      }
+      break;
+  }
+}
+
+template <class Backend>
+double LatticeHhh<Backend>::correction() const noexcept {
+  if (mode_ == LatticeMode::kMst) return 0.0;
+  // Theorems 6.11 / 6.15: 2 * Z_{1-delta/8} * sqrt(N * V).
+  return 2.0 * z_corr_ *
+         std::sqrt(static_cast<double>(n_) * static_cast<double>(V_));
+}
+
+template <class Backend>
+double LatticeHhh<Backend>::psi() const {
+  if (mode_ == LatticeMode::kMst) return 0.0;
+  // psi = Z_{1 - delta_s/2} * V * eps_s^-2 (Theorem 6.3); r draws per packet
+  // converge r times faster (Corollary 6.8).
+  const double z = z_value(1.0 - 0.5 * delta_s_);
+  return z * static_cast<double>(V_) / (eps_s_ * eps_s_) /
+         static_cast<double>(p_.r);
+}
+
+template <class Backend>
+HhhSet LatticeHhh<Backend>::output(double theta) const {
+  HhhSet P(h_->size());
+  if (n_ == 0) return P;
+  const double N = static_cast<double>(n_);
+  const double thresh = theta * N;
+  const double corr = correction();
+
+  const UpperEstimate glb_upper = [this](const Prefix& q) {
+    return scale_ * static_cast<double>(hh_[q.node].upper(q.key));
+  };
+
+  // Levels from fully specified (0) to fully general (Definition 8's order).
+  for (int level = 0; level < h_->num_levels(); ++level) {
+    for (const std::uint32_t node : h_->nodes_at_level(level)) {
+      hh_[node].for_each([&](const Key128& key, std::uint64_t up, std::uint64_t lo) {
+        const Prefix p{node, key};
+        const double f_hi = scale_ * static_cast<double>(up);
+        const double f_lo = scale_ * static_cast<double>(lo);
+        // Candidates whose upper bound plus sampling slack cannot reach the
+        // threshold have (w.h.p.) true conditioned frequency below it --
+        // their admission could only come from inclusion-exclusion bound
+        // slop (calcPred > 0), so skipping them is sound and trims false
+        // positives. In one dimension calcPred <= 0 makes this exact.
+        if (f_hi + corr < thresh) return;
+        const auto g_set = best_generalized(*h_, p, P);
+        const double c_hat =
+            f_hi + calc_pred(*h_, p, P, g_set, glb_upper) + corr;
+        if (c_hat >= thresh) {
+          P.add(HhhCandidate{p, f_hi, f_lo, f_hi, c_hat});
+        }
+      });
+    }
+  }
+  return P;
+}
+
+template <class Backend>
+void LatticeHhh<Backend>::merge(const LatticeHhh& other) {
+  if (H_ != other.H_ || h_->name() != other.h_->name() || mode_ != other.mode_ ||
+      V_ != other.V_ || p_.r != other.p_.r) {
+    throw std::invalid_argument(
+        "LatticeHhh::merge: instances must share hierarchy, mode, V and r");
+  }
+  if constexpr (requires(Backend& b, const Backend& o) { b.merge(o); }) {
+    for (std::uint32_t d = 0; d < H_; ++d) hh_[d].merge(other.hh_[d]);
+    n_ += other.n_;
+    updates_ += other.updates_;
+  } else {
+    throw std::logic_error("LatticeHhh::merge: backend is not mergeable");
+  }
+}
+
+template <class Backend>
+void LatticeHhh<Backend>::clear() {
+  for (auto& inst : hh_) inst.clear();
+  n_ = 0;
+  updates_ = 0;
+  rng_ = Xoroshiro128(p_.seed);
+}
+
+template class LatticeHhh<SpaceSaving<Key128>>;
+template class LatticeHhh<MisraGries<Key128>>;
+template class LatticeHhh<LossyCounting<Key128>>;
+template class LatticeHhh<CountMinHh<Key128>>;
+template class LatticeHhh<CountSketchHh<Key128>>;
+template class LatticeHhh<ExactCounter<Key128>>;
+
+std::unique_ptr<RhhhSpaceSaving> make_rhhh(const Hierarchy& h, LatticeParams p) {
+  return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, p);
+}
+
+std::unique_ptr<RhhhSpaceSaving> make_10rhhh(const Hierarchy& h, LatticeParams p) {
+  p.V = 10 * static_cast<std::uint32_t>(h.size());
+  return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, p);
+}
+
+std::unique_ptr<RhhhSpaceSaving> make_mst(const Hierarchy& h, LatticeParams p) {
+  return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kMst, p);
+}
+
+}  // namespace rhhh

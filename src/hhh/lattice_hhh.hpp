@@ -1,0 +1,191 @@
+// LatticeHhh: the paper's lattice-of-heavy-hitters structure with three
+// update disciplines sharing one Output implementation (Algorithm 1):
+//
+//   kRhhh        -- the paper's contribution: draw d ~ U[0, V); iff d < H,
+//                   update lattice node d. O(1) worst-case per packet
+//                   (Theorem 6.18). V = H processes every packet, V = 10H is
+//                   the paper's "10-RHHH". The r parameter implements
+//                   Corollary 6.8 (r independent draws per packet).
+//   kMst         -- the deterministic baseline of [35]: update all H nodes.
+//   kSampledMst  -- the Section 1 strawman: with probability H/V update all
+//                   H nodes; O(1) amortized but O(H) worst case.
+//
+// Estimates scale by V/r (RHHH), 1 (MST) or V/H (Sampled-MST); randomized
+// modes add the 2*Z*sqrt(N*V) slack of Theorems 6.11/6.15 to conditioned
+// frequencies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hh/backend.hpp"
+#include "hhh/conditioned.hpp"
+#include "hhh/hhh_types.hpp"
+#include "stats/normal.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+
+enum class LatticeMode : std::uint8_t { kRhhh, kMst, kSampledMst };
+
+[[nodiscard]] constexpr std::string_view to_string(LatticeMode m) noexcept {
+  switch (m) {
+    case LatticeMode::kRhhh: return "RHHH";
+    case LatticeMode::kMst: return "MST";
+    case LatticeMode::kSampledMst: return "Sampled-MST";
+  }
+  return "?";
+}
+
+struct LatticeParams {
+  double eps = 1e-3;    ///< overall accuracy target (split eps_a = eps_s = eps/2)
+  double delta = 1e-3;  ///< overall confidence target (delta_a = delta_s = delta/3)
+  std::uint32_t V = 0;  ///< performance parameter; 0 means V = H
+  std::uint32_t r = 1;  ///< independent updates per packet (Corollary 6.8)
+  std::uint64_t seed = 1;
+  std::size_t counters_override = 0;  ///< nonzero: explicit per-node capacity
+};
+
+template <class Backend>
+class LatticeHhh final : public HhhAlgorithm {
+ public:
+  LatticeHhh(const Hierarchy& h, LatticeMode mode, LatticeParams p);
+
+  /// Per-packet update (Algorithm 1 lines 1-7). noexcept and allocation-free.
+  void update(Key128 x) override {
+    ++n_;
+    switch (mode_) {
+      case LatticeMode::kRhhh:
+        for (std::uint32_t i = 0; i < p_.r; ++i) {
+          const std::uint32_t d = rng_.bounded(V_);
+          if (d < H_) {
+            hh_[d].increment(h_->mask_key(d, x), 1);
+            ++updates_;
+          }
+        }
+        break;
+      case LatticeMode::kMst:
+        for (std::uint32_t d = 0; d < H_; ++d) {
+          hh_[d].increment(h_->mask_key(d, x), 1);
+        }
+        updates_ += H_;
+        break;
+      case LatticeMode::kSampledMst:
+        if (rng_.bounded(V_) < H_) {
+          for (std::uint32_t d = 0; d < H_; ++d) {
+            hh_[d].increment(h_->mask_key(d, x), 1);
+          }
+          updates_ += H_;
+        }
+        break;
+    }
+  }
+
+  /// Weighted arrival: behaves as w consecutive packets of key x, but the
+  /// randomized modes draw once and feed the whole weight through (the
+  /// "duplicate the packet" view of Corollary 6.8 applied to weights).
+  void update_weighted(Key128 x, std::uint64_t w) override;
+
+  [[nodiscard]] HhhSet output(double theta) const override;
+
+  // -- distributed deployment support (paper Section 5.2) -------------------
+  /// Ingest one pre-sampled record: the switch already drew d < H and
+  /// forwarded (d, x); this applies the corresponding per-node update.
+  void ingest_sampled(std::uint32_t node, Key128 x) {
+    hh_[node].increment(h_->mask_key(node, x), 1);
+    ++updates_;
+  }
+  /// Account for `packets` offered at the switch (sampled or not) so that
+  /// thresholds and slack terms use the true stream length N.
+  void advance_stream(std::uint64_t packets) noexcept { n_ += packets; }
+
+  /// Merge a same-configuration instance observing a *different* stream
+  /// (paper Section 7: the distributed deployment "is capable of analyzing
+  /// data from multiple network devices"). Requires identical hierarchy,
+  /// mode, V and r (so per-node estimates share one scale); throws
+  /// std::invalid_argument otherwise. Only available for backends that
+  /// support merging (Space-Saving).
+  void merge(const LatticeHhh& other);
+
+  [[nodiscard]] std::uint64_t stream_length() const override { return n_; }
+  [[nodiscard]] double psi() const override;
+  void clear() override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const Hierarchy& hierarchy() const override { return *h_; }
+
+  // -- introspection (tests, benches) ---------------------------------------
+  [[nodiscard]] LatticeMode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::uint32_t V() const noexcept { return V_; }
+  [[nodiscard]] std::uint32_t H() const noexcept { return H_; }
+  /// Estimate scale: multiply per-node counts by this to estimate f.
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  /// Total backend increments performed (the work RHHH saves).
+  [[nodiscard]] std::uint64_t updates_performed() const noexcept { return updates_; }
+  [[nodiscard]] const Backend& instance(std::uint32_t node) const noexcept {
+    return hh_[node];
+  }
+  [[nodiscard]] std::size_t counters_per_node() const noexcept { return counters_; }
+  [[nodiscard]] double eps_a() const noexcept { return eps_a_; }
+  [[nodiscard]] double eps_s() const noexcept { return eps_s_; }
+  /// The additive conditioned-frequency slack used by output (0 for MST).
+  [[nodiscard]] double correction() const noexcept;
+  /// Point estimate f-hat for an arbitrary prefix (Definition 11's
+  /// V * X-hat, using the backend's upper estimate).
+  [[nodiscard]] double estimate(const Prefix& p) const {
+    return scale_ * static_cast<double>(hh_[p.node].upper(p.key));
+  }
+
+ private:
+  const Hierarchy* h_;
+  LatticeMode mode_;
+  LatticeParams p_;
+  std::string name_;
+  double eps_a_ = 0.0;
+  double eps_s_ = 0.0;
+  double delta_a_ = 0.0;
+  double delta_s_ = 0.0;
+  double scale_ = 1.0;
+  double z_corr_ = 0.0;  ///< Z_{1 - delta/8}
+  std::size_t counters_ = 0;
+  std::uint32_t V_ = 1;
+  std::uint32_t H_ = 1;
+  std::vector<Backend> hh_;
+  Xoroshiro128 rng_;
+  std::uint64_t n_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace rhhh
+
+#include "hh/count_min.hpp"
+#include "hh/count_sketch.hpp"
+#include "hh/exact_counter.hpp"
+#include "hh/lossy_counting.hpp"
+#include "hh/misra_gries.hpp"
+#include "hh/space_saving.hpp"
+
+namespace rhhh {
+
+// The shipped configurations are explicitly instantiated in lattice_hhh.cpp.
+extern template class LatticeHhh<SpaceSaving<Key128>>;
+extern template class LatticeHhh<MisraGries<Key128>>;
+extern template class LatticeHhh<LossyCounting<Key128>>;
+extern template class LatticeHhh<CountMinHh<Key128>>;
+extern template class LatticeHhh<CountSketchHh<Key128>>;
+extern template class LatticeHhh<ExactCounter<Key128>>;
+
+/// Space-Saving is the paper's evaluated backend.
+using RhhhSpaceSaving = LatticeHhh<SpaceSaving<Key128>>;
+
+/// Factory helpers mirroring the paper's named configurations.
+[[nodiscard]] std::unique_ptr<RhhhSpaceSaving> make_rhhh(const Hierarchy& h,
+                                                         LatticeParams p = {});
+/// "10-RHHH": V = 10 * H.
+[[nodiscard]] std::unique_ptr<RhhhSpaceSaving> make_10rhhh(const Hierarchy& h,
+                                                           LatticeParams p = {});
+[[nodiscard]] std::unique_ptr<RhhhSpaceSaving> make_mst(const Hierarchy& h,
+                                                        LatticeParams p = {});
+
+}  // namespace rhhh

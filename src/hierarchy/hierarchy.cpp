@@ -1,0 +1,174 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+namespace {
+
+/// Key128 with bits [lo_bit, hi_bit) set (bit 0 = LSB of Key128::lo).
+[[nodiscard]] Key128 bit_range_mask(int lo_bit, int hi_bit) noexcept {
+  Key128 m{};
+  if (hi_bit > 64) {
+    m.hi = low_bits_mask64(hi_bit - 64) & ~low_bits_mask64(std::max(0, lo_bit - 64));
+  }
+  if (lo_bit < 64) {
+    m.lo = low_bits_mask64(std::min(hi_bit, 64)) & ~low_bits_mask64(lo_bit);
+  }
+  return m;
+}
+
+/// Mask covering the top `len` bits of a dimension's field.
+[[nodiscard]] Key128 dim_mask(const DimensionSpec& d, int len) noexcept {
+  if (len <= 0) return Key128{};
+  const int top = d.offset_bits + d.width_bits;
+  return bit_range_mask(top - len, top);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> descending_lengths(int width, Granularity g) {
+  std::vector<std::uint8_t> out;
+  const int step = static_cast<int>(g);
+  for (int len = width; len >= 0; len -= step)
+    out.push_back(static_cast<std::uint8_t>(len));
+  return out;
+}
+
+[[nodiscard]] const char* gran_name(Granularity g) noexcept {
+  switch (g) {
+    case Granularity::kBit: return "bits";
+    case Granularity::kNibble: return "nibbles";
+    case Granularity::kByte: return "bytes";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Hierarchy::Hierarchy(std::vector<DimensionSpec> dims, std::string name)
+    : dims_(std::move(dims)), name_(std::move(name)) {
+  if (dims_.empty() || dims_.size() > 2) {
+    throw std::invalid_argument("Hierarchy: 1 or 2 dimensions required");
+  }
+  Key128 occupied{};
+  for (const auto& d : dims_) {
+    if (d.lengths.size() < 2 || d.lengths.front() != d.width_bits ||
+        d.lengths.back() != 0 ||
+        !std::is_sorted(d.lengths.rbegin(), d.lengths.rend())) {
+      throw std::invalid_argument(
+          "Hierarchy: lengths must descend strictly from width to 0");
+    }
+    for (std::size_t i = 1; i < d.lengths.size(); ++i) {
+      if (d.lengths[i] >= d.lengths[i - 1]) {
+        throw std::invalid_argument("Hierarchy: lengths must be strictly descending");
+      }
+    }
+    const Key128 field = dim_mask(d, d.width_bits);
+    if ((occupied & field) != Key128{}) {
+      throw std::invalid_argument("Hierarchy: dimensions overlap in the key");
+    }
+    occupied = occupied | field;
+  }
+
+  const int s0 = steps(0);
+  const int s1 = dims_.size() == 2 ? steps(1) : 1;
+  stride_ = static_cast<std::uint32_t>(s1);
+  depth_ = (s0 - 1) + (s1 - 1);
+  nodes_.resize(static_cast<std::size_t>(s0) * static_cast<std::size_t>(s1));
+  levels_.assign(static_cast<std::size_t>(depth_) + 1, {});
+
+  for (int i = 0; i < s0; ++i) {
+    for (int j = 0; j < s1; ++j) {
+      const std::uint32_t idx = node_index(i, j);
+      Node& n = nodes_[idx];
+      n.step = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j)};
+      n.len[0] = dims_[0].lengths[static_cast<std::size_t>(i)];
+      n.mask = dim_mask(dims_[0], n.len[0]);
+      if (dims_.size() == 2) {
+        n.len[1] = dims_[1].lengths[static_cast<std::size_t>(j)];
+        n.mask = n.mask | dim_mask(dims_[1], n.len[1]);
+      }
+      n.level = static_cast<std::uint16_t>(i + j);
+      levels_[n.level].push_back(idx);
+    }
+  }
+}
+
+Hierarchy Hierarchy::ipv4_1d(Granularity g) {
+  DimensionSpec d;
+  d.offset_bits = 0;
+  d.width_bits = 32;
+  d.lengths = descending_lengths(32, g);
+  d.format = DimensionSpec::Format::kIpv4;
+  return Hierarchy({std::move(d)}, std::string("ipv4-1d-") + gran_name(g));
+}
+
+Hierarchy Hierarchy::ipv4_2d(Granularity g) {
+  DimensionSpec src;
+  src.offset_bits = 32;
+  src.width_bits = 32;
+  src.lengths = descending_lengths(32, g);
+  src.format = DimensionSpec::Format::kIpv4;
+  DimensionSpec dst = src;
+  dst.offset_bits = 0;
+  return Hierarchy({std::move(src), std::move(dst)},
+                   std::string("ipv4-2d-") + gran_name(g));
+}
+
+Hierarchy Hierarchy::ipv6_1d(Granularity g) {
+  DimensionSpec d;
+  d.offset_bits = 0;
+  d.width_bits = 128;
+  d.lengths = descending_lengths(128, g);
+  d.format = DimensionSpec::Format::kIpv6;
+  return Hierarchy({std::move(d)}, std::string("ipv6-1d-") + gran_name(g));
+}
+
+std::optional<Prefix> Hierarchy::glb(const Prefix& a, const Prefix& b) const noexcept {
+  // Compatibility: a and b must agree on the bits covered by *both* masks
+  // (per dimension that is the shorter prefix's bits).
+  const Key128 common = nodes_[a.node].mask & nodes_[b.node].mask;
+  if ((a.key & common) != (b.key & common)) return std::nullopt;
+  const std::uint32_t n = glb_node(a.node, b.node);
+  // Each dimension's bits come from whichever prefix is more specific there;
+  // keys are pre-masked, so OR merges them.
+  return Prefix{n, a.key | b.key};
+}
+
+std::optional<std::uint32_t> Hierarchy::canonical_parent(std::uint32_t n) const noexcept {
+  const Node& nd = nodes_[n];
+  if (dims_.size() == 1) {
+    if (nd.step[0] + 1 >= steps(0)) return std::nullopt;
+    return node_index(nd.step[0] + 1);
+  }
+  const bool can0 = nd.step[0] + 1 < steps(0);
+  const bool can1 = nd.step[1] + 1 < steps(1);
+  if (!can0 && !can1) return std::nullopt;
+  // Generalize the dimension with fewer steps taken; ties -> dimension 0.
+  if (can0 && (!can1 || nd.step[0] <= nd.step[1])) {
+    return node_index(nd.step[0] + 1, nd.step[1]);
+  }
+  return node_index(nd.step[0], nd.step[1] + 1);
+}
+
+std::string Hierarchy::format(const Prefix& p) const {
+  const Node& n = nodes_[p.node];
+  auto one = [&](int d) {
+    const DimensionSpec& spec = dims_[static_cast<std::size_t>(d)];
+    const int len = n.len[d];
+    if (spec.format == DimensionSpec::Format::kIpv6) {
+      return format_ipv6_prefix(Ipv6{p.key.hi, p.key.lo}, len);
+    }
+    const auto addr =
+        static_cast<Ipv4>((p.key.lo >> spec.offset_bits) & 0xffffffffULL);
+    return format_ipv4_prefix(addr, len);
+  };
+  if (dims_.size() == 1) return one(0);
+  return "(" + one(0) + ", " + one(1) + ")";
+}
+
+}  // namespace rhhh

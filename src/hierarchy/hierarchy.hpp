@@ -1,0 +1,165 @@
+// The prefix-generalization lattice (paper Definitions 1-3, 7, 12).
+//
+// A Hierarchy describes one or two hierarchical dimensions (e.g. source and
+// destination IPv4 prefixes at bit or byte granularity). Lattice nodes are
+// *prefix patterns* -- one Space-Saving instance per node in the HHH
+// algorithms -- identified by per-dimension generalization steps:
+// step 0 keeps the address fully specified, each further step drops one
+// granule (byte/nibble/bit). A node's *level* is the total number of steps
+// (Definition 7: level 0 = fully specified, level L = (*,*)).
+//
+// Keys are Key128 values pre-masked by their node's mask; every API below
+// that takes a (node, key) pair assumes and preserves that invariant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+enum class Granularity : std::uint8_t { kBit = 1, kNibble = 4, kByte = 8 };
+
+/// How one dimension of the lattice maps onto the 128-bit key.
+struct DimensionSpec {
+  int offset_bits = 0;  ///< bit position of the field's LSB within Key128
+  int width_bits = 32;  ///< 32 for IPv4, 128 for IPv6
+  std::vector<std::uint8_t> lengths;  ///< descending prefix lengths, e.g. 32,24,...,0
+  enum class Format : std::uint8_t { kIpv4, kIpv6 } format = Format::kIpv4;
+};
+
+/// A prefix: a lattice node plus a key masked to that node's pattern.
+struct Prefix {
+  std::uint32_t node = 0;
+  Key128 key{};
+  friend constexpr bool operator==(const Prefix&, const Prefix&) noexcept = default;
+};
+
+struct PrefixHash {
+  [[nodiscard]] std::uint64_t operator()(const Prefix& p) const noexcept {
+    return Key128Hash{}(p.key) ^ mix64(p.node);
+  }
+};
+
+class Hierarchy {
+ public:
+  struct Node {
+    std::array<std::uint8_t, 2> step{};  ///< generalization steps per dim
+    std::array<std::uint8_t, 2> len{};   ///< kept prefix bits per dim
+    Key128 mask{};
+    std::uint16_t level = 0;  ///< step[0] + step[1]
+  };
+
+  /// Generic construction from dimension specs (1 or 2 dims). Validates that
+  /// each dimension's lengths are strictly descending and end at 0, and that
+  /// dimensions do not overlap in the key; throws std::invalid_argument.
+  explicit Hierarchy(std::vector<DimensionSpec> dims, std::string name);
+
+  // -- Named factories matching the paper's evaluated hierarchies ----------
+  /// 1D source-IPv4 hierarchy; byte granularity gives H=5, bit gives H=33.
+  [[nodiscard]] static Hierarchy ipv4_1d(Granularity g);
+  /// 2D (source, destination) IPv4 hierarchy; byte granularity gives H=25.
+  [[nodiscard]] static Hierarchy ipv4_2d(Granularity g);
+  /// 1D IPv6 hierarchy: byte granularity H=17, nibble H=33 (paper §1/§7:
+  /// the large-H regime motivating O(1) updates).
+  [[nodiscard]] static Hierarchy ipv6_1d(Granularity g);
+
+  // -- Shape ----------------------------------------------------------------
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }  ///< H
+  [[nodiscard]] int dims() const noexcept { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] int depth() const noexcept { return depth_; }  ///< L
+  [[nodiscard]] int num_levels() const noexcept { return depth_ + 1; }
+  [[nodiscard]] const Node& node(std::uint32_t i) const noexcept { return nodes_[i]; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const DimensionSpec& dim(int d) const noexcept {
+    return dims_[static_cast<std::size_t>(d)];
+  }
+
+  /// Steps available in dimension d (number of prefix lengths).
+  [[nodiscard]] int steps(int d) const noexcept {
+    return static_cast<int>(dims_[static_cast<std::size_t>(d)].lengths.size());
+  }
+  /// Node index from per-dimension steps (step1 ignored for 1D).
+  [[nodiscard]] std::uint32_t node_index(int step0, int step1 = 0) const noexcept {
+    return static_cast<std::uint32_t>(step0) * stride_ +
+           static_cast<std::uint32_t>(dims_.size() == 2 ? step1 : 0);
+  }
+  /// Indices of all nodes at generalization level l.
+  [[nodiscard]] std::span<const std::uint32_t> nodes_at_level(int l) const noexcept {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+  /// The fully-specified node (level 0).
+  [[nodiscard]] std::uint32_t bottom() const noexcept { return node_index(0, 0); }
+  /// The fully-general node (*, ..., *).
+  [[nodiscard]] std::uint32_t top() const noexcept {
+    return node_index(steps(0) - 1, dims() == 2 ? steps(1) - 1 : 0);
+  }
+
+  // -- Keys -----------------------------------------------------------------
+  /// Masks a fully-specified key down to node n's pattern.
+  [[nodiscard]] Key128 mask_key(std::uint32_t n, Key128 fully) const noexcept {
+    return fully & nodes_[n].mask;
+  }
+  /// Fully-specified key for a packet. Requires an IPv4-based hierarchy.
+  [[nodiscard]] Key128 key_of(const PacketRecord& p) const noexcept {
+    return dims_.size() == 2 ? p.pair_key() : p.src_key();
+  }
+
+  // -- Generalization order (Definition 1) ----------------------------------
+  /// True iff node a's pattern generalizes (or equals) node b's pattern.
+  [[nodiscard]] bool node_generalizes(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    return na.step[0] >= nb.step[0] && na.step[1] >= nb.step[1];
+  }
+  /// True iff prefix a generalizes (or equals) prefix b.
+  [[nodiscard]] bool generalizes(const Prefix& a, const Prefix& b) const noexcept {
+    return node_generalizes(a.node, b.node) && (b.key & nodes_[a.node].mask) == a.key;
+  }
+  /// Strict version (a generalizes b and a != b).
+  [[nodiscard]] bool strictly_generalizes(const Prefix& a, const Prefix& b) const noexcept {
+    return a.node != b.node && generalizes(a, b);
+  }
+  /// Generalize a prefix up to an ancestor node pattern.
+  [[nodiscard]] Prefix generalize_to(const Prefix& p, std::uint32_t node) const noexcept {
+    return Prefix{node, p.key & nodes_[node].mask};
+  }
+
+  // -- Greatest lower bound (Definition 12) ----------------------------------
+  /// Node of the most general common descendant pattern of a and b.
+  [[nodiscard]] std::uint32_t glb_node(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    return node_index(std::min(na.step[0], nb.step[0]),
+                      std::min(na.step[1], nb.step[1]));
+  }
+  /// glb of two prefixes: their unique most-general common descendant, or
+  /// nullopt when they are incompatible (Definition 12's count-0 item).
+  [[nodiscard]] std::optional<Prefix> glb(const Prefix& a, const Prefix& b) const noexcept;
+
+  /// Canonical parent chain used by the trie-based comparators: generalizes
+  /// the dimension with fewer steps taken (ties -> dimension 0); one node
+  /// per level from bottom() to top(). Returns nullopt at the top.
+  [[nodiscard]] std::optional<std::uint32_t> canonical_parent(std::uint32_t n) const noexcept;
+
+  // -- Presentation ----------------------------------------------------------
+  /// Formats a prefix in the paper's style, e.g. "181.7.*.*" or
+  /// "(181.7.*.*, 208.67.222.222)".
+  [[nodiscard]] std::string format(const Prefix& p) const;
+
+ private:
+  std::vector<DimensionSpec> dims_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::uint32_t>> levels_;
+  std::uint32_t stride_ = 1;  // nodes per step of dim 0
+  int depth_ = 0;
+  std::string name_;
+};
+
+}  // namespace rhhh

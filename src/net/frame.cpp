@@ -1,0 +1,139 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhhh {
+
+namespace {
+
+[[nodiscard]] std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+[[nodiscard]] std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void set_error(ParseError* out, ParseError e) noexcept {
+  if (out != nullptr) *out = e;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) sum += load_be16(data.data() + i);
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::optional<ParseResult> parse_frame(std::span<const std::uint8_t> frame,
+                                       ParseError* error) noexcept {
+  if (frame.size() < kEthHeaderLen) {
+    set_error(error, ParseError::kTruncatedEthernet);
+    return std::nullopt;
+  }
+  if (load_be16(frame.data() + 12) != kEtherTypeIpv4) {
+    set_error(error, ParseError::kNotIpv4);
+    return std::nullopt;
+  }
+  const std::uint8_t* ip = frame.data() + kEthHeaderLen;
+  const std::size_t ip_avail = frame.size() - kEthHeaderLen;
+  if (ip_avail < kIpv4MinHeaderLen) {
+    set_error(error, ParseError::kTruncatedIpv4);
+    return std::nullopt;
+  }
+  if ((ip[0] >> 4) != 4) {
+    set_error(error, ParseError::kBadIpv4Version);
+    return std::nullopt;
+  }
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderLen || ihl > ip_avail) {
+    set_error(error, ParseError::kBadIpv4HeaderLength);
+    return std::nullopt;
+  }
+  const std::uint16_t total_len = load_be16(ip + 2);
+  if (total_len < ihl || total_len > ip_avail) {
+    set_error(error, ParseError::kBadIpv4TotalLength);
+    return std::nullopt;
+  }
+
+  PacketRecord rec;
+  rec.proto = ip[9];
+  rec.src_ip = load_be32(ip + 12);
+  rec.dst_ip = load_be32(ip + 16);
+  rec.length = static_cast<std::uint16_t>(frame.size());
+
+  const std::uint8_t* l4 = ip + ihl;
+  const std::size_t l4_avail = total_len - ihl;
+  if (rec.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    if (l4_avail < kUdpHeaderLen) {
+      set_error(error, ParseError::kTruncatedL4);
+      return std::nullopt;
+    }
+    rec.src_port = load_be16(l4);
+    rec.dst_port = load_be16(l4 + 2);
+  } else if (rec.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    if (l4_avail < kTcpMinHeaderLen) {
+      set_error(error, ParseError::kTruncatedL4);
+      return std::nullopt;
+    }
+    rec.src_port = load_be16(l4);
+    rec.dst_port = load_be16(l4 + 2);
+  }
+  return ParseResult{rec};
+}
+
+std::vector<std::uint8_t> build_frame(const PacketRecord& p) {
+  const bool udp = p.proto == static_cast<std::uint8_t>(IpProto::kUdp);
+  const bool tcp = p.proto == static_cast<std::uint8_t>(IpProto::kTcp);
+  const std::size_t l4_len = udp ? kUdpHeaderLen : (tcp ? kTcpMinHeaderLen : 8);
+  const std::size_t min_len = kEthHeaderLen + kIpv4MinHeaderLen + l4_len;
+  const std::size_t frame_len = std::max<std::size_t>(p.length, min_len);
+
+  std::vector<std::uint8_t> f(frame_len, 0);
+  // Ethernet: locally-administered MACs derived from the addresses.
+  f[0] = 0x02;
+  store_be32(f.data() + 1, p.dst_ip);
+  f[6] = 0x02;
+  store_be32(f.data() + 7, p.src_ip);
+  store_be16(f.data() + 12, kEtherTypeIpv4);
+
+  std::uint8_t* ip = f.data() + kEthHeaderLen;
+  const std::uint16_t ip_total = static_cast<std::uint16_t>(frame_len - kEthHeaderLen);
+  ip[0] = 0x45;  // version 4, IHL 5
+  store_be16(ip + 2, ip_total);
+  ip[8] = 64;  // TTL
+  ip[9] = p.proto;
+  store_be32(ip + 12, p.src_ip);
+  store_be32(ip + 16, p.dst_ip);
+  store_be16(ip + 10, 0);
+  store_be16(ip + 10, internet_checksum({ip, kIpv4MinHeaderLen}));
+
+  std::uint8_t* l4 = ip + kIpv4MinHeaderLen;
+  if (udp) {
+    store_be16(l4, p.src_port);
+    store_be16(l4 + 2, p.dst_port);
+    store_be16(l4 + 4, static_cast<std::uint16_t>(ip_total - kIpv4MinHeaderLen));
+  } else if (tcp) {
+    store_be16(l4, p.src_port);
+    store_be16(l4 + 2, p.dst_port);
+    l4[12] = 0x50;  // data offset 5 words
+  }
+  return f;
+}
+
+}  // namespace rhhh

@@ -1,0 +1,53 @@
+// Raw frame parsing and building: Ethernet II / IPv4 / {UDP, TCP, ICMP}.
+//
+// The OVS integration (paper §5) parses packet headers in the dataplane
+// before flow lookup; this module provides that parse step for the
+// mini-vswitch, plus a frame builder so tests and the traffic generator can
+// produce valid byte buffers (the reproduction's stand-in for MoonGen).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rhhh {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kTcpMinHeaderLen = 20;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// Why a frame failed to parse (kept precise for dataplane drop counters).
+enum class ParseError : std::uint8_t {
+  kTruncatedEthernet,
+  kNotIpv4,
+  kTruncatedIpv4,
+  kBadIpv4Version,
+  kBadIpv4HeaderLength,
+  kBadIpv4TotalLength,
+  kTruncatedL4,
+};
+
+struct ParseResult {
+  PacketRecord record;
+};
+
+/// Parses an Ethernet II frame carrying IPv4. On success fills a
+/// PacketRecord (ports are zero for non-TCP/UDP payloads). Never throws;
+/// malformed input yields the specific ParseError.
+[[nodiscard]] std::optional<ParseResult> parse_frame(
+    std::span<const std::uint8_t> frame, ParseError* error = nullptr) noexcept;
+
+/// Builds a well-formed Ethernet/IPv4/UDP (or TCP/ICMP) frame for `p`,
+/// padded to p.length bytes (>= the minimum for the protocol).
+[[nodiscard]] std::vector<std::uint8_t> build_frame(const PacketRecord& p);
+
+/// IETF internet checksum (RFC 1071) over a byte range.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace rhhh

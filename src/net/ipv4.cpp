@@ -1,0 +1,58 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+std::optional<Ipv4> parse_ipv4(std::string_view s) noexcept {
+  std::uint32_t out = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    out = (out << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return out;
+}
+
+std::string format_ipv4(Ipv4 addr) {
+  std::string s;
+  s.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    s += std::to_string((addr >> shift) & 0xff);
+    if (shift > 0) s += '.';
+  }
+  return s;
+}
+
+std::string format_ipv4_prefix(Ipv4 addr, int prefix_bits) {
+  if (prefix_bits <= 0) return "*";
+  if (prefix_bits >= 32) return format_ipv4(addr);
+  if (prefix_bits % 8 == 0) {
+    const int bytes = prefix_bits / 8;
+    std::string s;
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) s += '.';
+      if (i < bytes) {
+        s += std::to_string((addr >> (24 - 8 * i)) & 0xff);
+      } else {
+        s += '*';
+      }
+    }
+    return s;
+  }
+  const Ipv4 masked = addr & static_cast<Ipv4>(high_bits_mask64(prefix_bits) >> 32);
+  return format_ipv4(masked) + "/" + std::to_string(prefix_bits);
+}
+
+}  // namespace rhhh

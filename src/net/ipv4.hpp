@@ -1,0 +1,34 @@
+// IPv4 address handling: parse, format, prefix formatting with wildcards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rhhh {
+
+/// IPv4 addresses are host-order 32-bit integers throughout the library
+/// (the first dotted octet is the most significant byte).
+using Ipv4 = std::uint32_t;
+
+/// Builds an address from its four dotted octets: ipv4(181,7,20,6).
+[[nodiscard]] constexpr Ipv4 ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                  std::uint8_t d) noexcept {
+  return (std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+         (std::uint32_t{c} << 8) | std::uint32_t{d};
+}
+
+/// Parses dotted-quad notation ("181.7.20.6"). Rejects out-of-range octets,
+/// missing components and trailing garbage.
+[[nodiscard]] std::optional<Ipv4> parse_ipv4(std::string_view s) noexcept;
+
+/// Formats as dotted quad.
+[[nodiscard]] std::string format_ipv4(Ipv4 addr);
+
+/// Formats the first `prefix_bits` bits as a prefix in the paper's style:
+/// byte-aligned prefixes use wildcard octets ("181.7.*.*"), other lengths
+/// use CIDR notation ("181.7.16.0/22"). prefix_bits == 0 yields "*".
+[[nodiscard]] std::string format_ipv4_prefix(Ipv4 addr, int prefix_bits);
+
+}  // namespace rhhh

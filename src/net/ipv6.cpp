@@ -1,0 +1,131 @@
+#include "net/ipv6.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+namespace {
+
+std::optional<unsigned> parse_group(std::string_view s) noexcept {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  unsigned v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+Ipv6 from_groups(const std::array<std::uint16_t, 8>& g) noexcept {
+  Ipv6 a;
+  for (int i = 0; i < 4; ++i) a.hi = (a.hi << 16) | g[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) a.lo = (a.lo << 16) | g[static_cast<std::size_t>(i)];
+  return a;
+}
+
+}  // namespace
+
+std::optional<Ipv6> parse_ipv6(std::string_view s) noexcept {
+  // Split on "::" (at most one occurrence).
+  const auto dc = s.find("::");
+  std::string_view left = s;
+  std::string_view right{};
+  bool compressed = false;
+  if (dc != std::string_view::npos) {
+    if (s.find("::", dc + 1) != std::string_view::npos) return std::nullopt;
+    compressed = true;
+    left = s.substr(0, dc);
+    right = s.substr(dc + 2);
+  }
+
+  auto split_groups = [](std::string_view part,
+                         std::array<std::uint16_t, 8>& out, int& n) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      const auto colon = part.find(':', pos);
+      const std::string_view tok =
+          colon == std::string_view::npos ? part.substr(pos) : part.substr(pos, colon - pos);
+      const auto v = parse_group(tok);
+      if (!v || n >= 8) return false;
+      out[static_cast<std::size_t>(n++)] = static_cast<std::uint16_t>(*v);
+      if (colon == std::string_view::npos) return true;
+      pos = colon + 1;
+    }
+  };
+
+  std::array<std::uint16_t, 8> lg{};
+  std::array<std::uint16_t, 8> rg{};
+  int ln = 0;
+  int rn = 0;
+  if (!split_groups(left, lg, ln)) return std::nullopt;
+  if (!split_groups(right, rg, rn)) return std::nullopt;
+
+  std::array<std::uint16_t, 8> g{};
+  if (compressed) {
+    if (ln + rn >= 8) return std::nullopt;  // "::" must compress >= 1 group
+    for (int i = 0; i < ln; ++i) g[static_cast<std::size_t>(i)] = lg[static_cast<std::size_t>(i)];
+    for (int i = 0; i < rn; ++i)
+      g[static_cast<std::size_t>(8 - rn + i)] = rg[static_cast<std::size_t>(i)];
+  } else {
+    if (ln != 8) return std::nullopt;
+    g = lg;
+  }
+  return from_groups(g);
+}
+
+std::string format_ipv6(const Ipv6& addr) {
+  std::array<std::uint16_t, 8> g{};
+  for (int i = 0; i < 8; ++i) g[static_cast<std::size_t>(i)] = addr.group(i);
+
+  // Longest run of zero groups (length >= 2) gets "::".
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (g[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && g[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  int i = 0;
+  while (i < 8) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, g[static_cast<std::size_t>(i)], 16);
+    (void)ec;
+    out.append(buf, p);
+    ++i;
+  }
+  return out;
+}
+
+std::string format_ipv6_prefix(const Ipv6& addr, int prefix_bits) {
+  if (prefix_bits <= 0) return "*";
+  if (prefix_bits >= 128) return format_ipv6(addr);
+  Ipv6 masked = addr;
+  if (prefix_bits <= 64) {
+    masked.hi &= high_bits_mask64(prefix_bits);
+    masked.lo = 0;
+  } else {
+    masked.lo &= high_bits_mask64(prefix_bits - 64);
+  }
+  return format_ipv6(masked) + "/" + std::to_string(prefix_bits);
+}
+
+}  // namespace rhhh

@@ -1,0 +1,47 @@
+// IPv6 address handling.
+//
+// IPv6 is the paper's motivating case for large hierarchies (Section 1:
+// "The transition to IPv6 is expected to increase hierarchies' sizes and
+// render existing approaches even slower"). The hierarchy-scaling ablation
+// runs 1D IPv6 byte/nibble hierarchies on these addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/key128.hpp"
+
+namespace rhhh {
+
+/// 128-bit IPv6 address; hi holds the first 8 bytes (network order semantics:
+/// the top bit of `hi` is the first bit on the wire).
+struct Ipv6 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const Ipv6&, const Ipv6&) noexcept = default;
+
+  [[nodiscard]] constexpr Key128 key() const noexcept { return Key128{hi, lo}; }
+  [[nodiscard]] static constexpr Ipv6 from_key(Key128 k) noexcept {
+    return Ipv6{k.hi, k.lo};
+  }
+  /// The i-th 16-bit group, i in [0,8), group 0 first on the wire.
+  [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
+    const std::uint64_t w = i < 4 ? hi : lo;
+    return static_cast<std::uint16_t>(w >> (48 - 16 * (i & 3)));
+  }
+};
+
+/// Parses full and "::"-compressed textual form (no embedded IPv4 form).
+[[nodiscard]] std::optional<Ipv6> parse_ipv6(std::string_view s) noexcept;
+
+/// Formats in canonical RFC 5952 style (lowercase hex, longest zero run
+/// compressed with "::").
+[[nodiscard]] std::string format_ipv6(const Ipv6& addr);
+
+/// Prefix formatting ("2001:db8::/32"); prefix_bits == 0 yields "*".
+[[nodiscard]] std::string format_ipv6_prefix(const Ipv6& addr, int prefix_bits);
+
+}  // namespace rhhh

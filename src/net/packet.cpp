@@ -1,0 +1,9 @@
+// packet.hpp is header-only; this TU exists so the net library always has
+// at least one object file and to host non-inline helpers if they grow.
+#include "net/packet.hpp"
+
+namespace rhhh {
+
+static_assert(sizeof(PacketRecord) <= 24, "PacketRecord must stay compact");
+
+}  // namespace rhhh

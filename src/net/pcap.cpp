@@ -1,0 +1,134 @@
+#include "net/pcap.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "net/frame.hpp"
+
+namespace rhhh {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  put_u16(p, static_cast<std::uint16_t>(v));
+  put_u16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p, bool swapped) noexcept {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  if (!swapped) return v;
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+}
+
+constexpr std::size_t kGlobalHeader = 24;
+constexpr std::size_t kRecordHeader = 16;
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  std::array<std::uint8_t, kGlobalHeader> h{};
+  put_u32(h.data(), kPcapMagicUsec);
+  put_u16(h.data() + 4, 2);   // version major
+  put_u16(h.data() + 6, 4);   // version minor
+  put_u32(h.data() + 8, 0);   // thiszone
+  put_u32(h.data() + 12, 0);  // sigfigs
+  put_u32(h.data() + 16, snaplen);
+  put_u32(h.data() + 20, kPcapDltEthernet);
+  out_.write(reinterpret_cast<const char*>(h.data()), kGlobalHeader);
+}
+
+void PcapWriter::write_frame(const std::vector<std::uint8_t>& frame,
+                             std::uint32_t ts_sec, std::uint32_t ts_usec) {
+  std::array<std::uint8_t, kRecordHeader> h{};
+  put_u32(h.data(), ts_sec);
+  put_u32(h.data() + 4, ts_usec);
+  put_u32(h.data() + 8, static_cast<std::uint32_t>(frame.size()));
+  put_u32(h.data() + 12, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(h.data()), kRecordHeader);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_) throw std::runtime_error("PcapWriter: write failed");
+  ++count_;
+}
+
+void PcapWriter::write(const PacketRecord& p) {
+  write_frame(build_frame(p), p.ts_us / 1000000u, p.ts_us % 1000000u);
+}
+
+PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+  std::array<std::uint8_t, kGlobalHeader> h{};
+  in_.read(reinterpret_cast<char*>(h.data()), kGlobalHeader);
+  if (static_cast<std::size_t>(in_.gcount()) != kGlobalHeader) {
+    throw std::runtime_error("PcapReader: truncated global header");
+  }
+  const std::uint32_t magic = get_u32(h.data(), false);
+  if (magic == kPcapMagicUsec) {
+    swapped_ = false;
+    nsec_ = false;
+  } else if (magic == kPcapMagicNsec) {
+    swapped_ = false;
+    nsec_ = true;
+  } else {
+    const std::uint32_t sw = get_u32(h.data(), true);
+    if (sw == kPcapMagicUsec) {
+      swapped_ = true;
+      nsec_ = false;
+    } else if (sw == kPcapMagicNsec) {
+      swapped_ = true;
+      nsec_ = true;
+    } else {
+      throw std::runtime_error("PcapReader: bad magic in " + path);
+    }
+  }
+  snaplen_ = get_u32(h.data() + 16, swapped_);
+  const std::uint32_t dlt = get_u32(h.data() + 20, swapped_);
+  if (dlt != kPcapDltEthernet) {
+    throw std::runtime_error("PcapReader: unsupported link type " +
+                             std::to_string(dlt));
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> PcapReader::next_frame() {
+  std::array<std::uint8_t, kRecordHeader> h{};
+  in_.read(reinterpret_cast<char*>(h.data()), kRecordHeader);
+  if (in_.gcount() == 0) return std::nullopt;  // clean EOF
+  if (static_cast<std::size_t>(in_.gcount()) != kRecordHeader) {
+    throw std::runtime_error("PcapReader: truncated record header");
+  }
+  const std::uint32_t incl = get_u32(h.data() + 8, swapped_);
+  if (incl > snaplen_ && incl > (1u << 24)) {
+    throw std::runtime_error("PcapReader: implausible record length");
+  }
+  std::vector<std::uint8_t> frame(incl);
+  in_.read(reinterpret_cast<char*>(frame.data()), static_cast<std::streamsize>(incl));
+  if (in_.gcount() != static_cast<std::streamsize>(incl)) {
+    throw std::runtime_error("PcapReader: truncated record body");
+  }
+  ++frames_;
+  return frame;
+}
+
+std::optional<PacketRecord> PcapReader::next() {
+  while (auto frame = next_frame()) {
+    if (const auto parsed = parse_frame(*frame)) return parsed->record;
+  }
+  return std::nullopt;
+}
+
+std::vector<PacketRecord> PcapReader::read_all(const std::string& path) {
+  PcapReader reader(path);
+  std::vector<PacketRecord> out;
+  while (auto p = reader.next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace rhhh

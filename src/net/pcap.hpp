@@ -1,0 +1,72 @@
+// Classic libpcap capture files (tcpdump format): reader and writer.
+//
+// The paper's traces are CAIDA captures distributed as pcap; this module
+// lets the tooling consume real captures and emit captures other tools can
+// open. Both endiannesses and both timestamp resolutions (usec 0xa1b2c3d4,
+// nsec 0xa1b23c4d) are read; writing emits native-endian microsecond
+// files with Ethernet (DLT_EN10MB) link type.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rhhh {
+
+inline constexpr std::uint32_t kPcapMagicUsec = 0xa1b2c3d4u;
+inline constexpr std::uint32_t kPcapMagicNsec = 0xa1b23c4du;
+inline constexpr std::uint32_t kPcapDltEthernet = 1;
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header; throws
+  /// std::runtime_error on failure.
+  explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+
+  /// Writes one record: the PacketRecord is rendered as a well-formed
+  /// Ethernet/IPv4 frame (net/frame.hpp) with its ts_us as the timestamp.
+  void write(const PacketRecord& p);
+  /// Writes a pre-built frame with an explicit timestamp.
+  void write_frame(const std::vector<std::uint8_t>& frame, std::uint32_t ts_sec,
+                   std::uint32_t ts_usec);
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Opens and validates the global header (any endianness / resolution);
+  /// throws std::runtime_error on failure or non-Ethernet link type.
+  explicit PcapReader(const std::string& path);
+
+  /// Next IPv4 packet, parsed through the frame parser. Non-IPv4 frames are
+  /// skipped; nullopt at end of file. Throws on a truncated record.
+  [[nodiscard]] std::optional<PacketRecord> next();
+
+  /// Next raw frame regardless of contents; nullopt at end of file.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next_frame();
+
+  [[nodiscard]] bool swapped() const noexcept { return swapped_; }
+  [[nodiscard]] bool nanosecond() const noexcept { return nsec_; }
+  [[nodiscard]] std::uint64_t frames_read() const noexcept { return frames_; }
+
+  /// Convenience: read every parseable IPv4 packet of a file.
+  [[nodiscard]] static std::vector<PacketRecord> read_all(const std::string& path);
+
+ private:
+  std::ifstream in_;
+  bool swapped_ = false;
+  bool nsec_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace rhhh

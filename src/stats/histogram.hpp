@@ -1,0 +1,94 @@
+// LogHistogram: constant-memory quantile estimation for latency-style data.
+//
+// Values are bucketed at ~4% resolution (16 sub-buckets per power of two),
+// so p99.9/max queries over hundreds of millions of per-packet latencies
+// cost 2 KiB instead of a giant sort -- used by the latency-tail ablation
+// and suitable for always-on dataplane telemetry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rhhh {
+
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kBuckets = 64 << kSubBits;
+
+  void add(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    if (count_ == 1 || value < min_) min_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0,1]; upper edge of the containing bucket, so
+  /// the result is within ~6% of the true order statistic.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[static_cast<std::size_t>(b)];
+      if (seen > rank) return upper_edge(b);
+    }
+    return max_;
+  }
+
+  void clear() noexcept {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = 0;
+  }
+
+  /// Merge another histogram (distributed collection).
+  void merge(const LogHistogram& other) noexcept {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[static_cast<std::size_t>(b)] +=
+          other.buckets_[static_cast<std::size_t>(b)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ != 0) {
+      if (other.max_ > max_) max_ = other.max_;
+      if (count_ == other.count_ || other.min_ < min_) min_ = other.min_;
+    }
+  }
+
+ private:
+  [[nodiscard]] static int bucket_of(std::uint64_t v) noexcept {
+    if (v < (1u << kSubBits)) return static_cast<int>(v);  // exact small values
+    const int msb = 63 - __builtin_clzll(v);
+    const int sub = static_cast<int>((v >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+  }
+  [[nodiscard]] static std::uint64_t upper_edge(int b) noexcept {
+    if (b < (1 << kSubBits)) return static_cast<std::uint64_t>(b);
+    const int octave = (b >> kSubBits) + kSubBits - 1;
+    const int sub = b & ((1 << kSubBits) - 1);
+    return ((std::uint64_t{1} << kSubBits) + static_cast<std::uint64_t>(sub) + 1)
+               << (octave - kSubBits)
+           ;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = 0;
+};
+
+}  // namespace rhhh

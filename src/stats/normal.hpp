@@ -1,0 +1,25 @@
+// Standard normal distribution: CDF and quantile (inverse CDF).
+//
+// The quantile provides the Z values used throughout the paper's analysis:
+// the sampling-noise slack 2*Z*sqrt(N*V) in Algorithm 1 and the convergence
+// bound psi = Z_{1-delta_s/2} * V * eps_s^-2 (Theorem 6.3).
+#pragma once
+
+namespace rhhh {
+
+/// P(X <= x) for X ~ N(0,1).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// phi(x): the standard normal density.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Inverse CDF: returns z with normal_cdf(z) == p, for p in (0,1).
+/// Acklam's rational approximation refined by one Halley step; absolute
+/// error below 1e-9 across the domain. Out-of-domain p returns +-infinity.
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+/// Z_alpha as used in the paper (the z with Phi(z) = alpha), e.g.
+/// z_value(1 - delta/8) for the coverage slack of Theorems 6.11/6.15.
+[[nodiscard]] double z_value(double alpha) noexcept;
+
+}  // namespace rhhh

@@ -1,0 +1,29 @@
+#include "stats/poisson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.hpp"
+
+namespace rhhh {
+
+Interval poisson_interval(double lambda, double delta) noexcept {
+  const double z = z_value(1.0 - 0.5 * delta);
+  const double half = z * std::sqrt(std::max(lambda, 0.0));
+  return Interval{lambda - half, lambda + half};
+}
+
+Interval poisson_mean_interval(double observed, double delta) noexcept {
+  const double z = z_value(1.0 - 0.5 * delta);
+  const double center = observed + 0.5 * z * z;
+  const double half = z * std::sqrt(std::max(observed, 0.0) + 0.25 * z * z);
+  return Interval{std::max(0.0, center - half), center + half};
+}
+
+double poisson_pmf(unsigned k, double lambda) noexcept {
+  if (lambda <= 0.0) return k == 0 ? 1.0 : 0.0;
+  const double lp = k * std::log(lambda) - lambda - std::lgamma(double(k) + 1.0);
+  return std::exp(lp);
+}
+
+}  // namespace rhhh

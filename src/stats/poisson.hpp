@@ -1,0 +1,32 @@
+// Poisson confidence intervals.
+//
+// The RHHH analysis (Section 6) approximates the balls-and-bins update
+// process by independent Poisson variables and builds confidence intervals
+// around bin loads: Lemma 6.2 uses the normal approximation
+// |X - E[X]| < Z_{1-delta} * sqrt(E[X]), citing Schwertman & Martinez [40].
+// Both that simple interval and the (better-calibrated) Schwertman-Martinez
+// second approximation are provided.
+#pragma once
+
+namespace rhhh {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Lemma 6.2 interval around the mean: lambda +- Z_{1-delta/2} * sqrt(lambda).
+/// Two-sided with total miss probability ~delta.
+[[nodiscard]] Interval poisson_interval(double lambda, double delta) noexcept;
+
+/// Schwertman-Martinez approximate interval for the *mean* given an observed
+/// count x: [x + z^2/2 - z*sqrt(x + z^2/4), x + z^2/2 + z*sqrt(x + z^2/4)]
+/// with z = Z_{1-delta/2}. Better behaved at small counts.
+[[nodiscard]] Interval poisson_mean_interval(double observed, double delta) noexcept;
+
+/// Poisson pmf P(X = k) for X ~ Poisson(lambda) (log-space, safe for large k).
+[[nodiscard]] double poisson_pmf(unsigned k, double lambda) noexcept;
+
+}  // namespace rhhh

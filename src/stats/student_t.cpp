@@ -1,0 +1,97 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+
+namespace rhhh {
+
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta (Lentz's algorithm),
+// valid for x < (a+1)/(a+b+2); callers use the symmetry relation otherwise.
+double beta_cf(double a, double b, double x) noexcept {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) noexcept {
+  if (df <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_quantile(double p, double df) noexcept {
+  if (!(p > 0.0)) return -std::numeric_limits<double>::infinity();
+  if (!(p < 1.0)) return std::numeric_limits<double>::infinity();
+  if (p == 0.5) return 0.0;
+
+  // Start from the normal quantile, then bisect/secant on the monotone CDF.
+  double lo = -1e3;
+  double hi = 1e3;
+  double t = normal_quantile(p);
+  for (int i = 0; i < 200; ++i) {
+    const double c = student_t_cdf(t, df);
+    if (c > p) {
+      hi = t;
+    } else {
+      lo = t;
+    }
+    const double next = 0.5 * (lo + hi);
+    if (std::fabs(next - t) < 1e-12 * (1.0 + std::fabs(t))) return next;
+    t = next;
+  }
+  return t;
+}
+
+double t_critical(double df, double confidence) noexcept {
+  return student_t_quantile(0.5 + 0.5 * confidence, df);
+}
+
+}  // namespace rhhh

@@ -1,0 +1,22 @@
+// Student's t distribution: CDF and quantile.
+//
+// The paper reports each data point as the mean of 5 runs with a two-sided
+// 95% Student-t confidence interval; the bench harness does the same.
+#pragma once
+
+namespace rhhh {
+
+/// Regularized incomplete beta function I_x(a, b), x in [0,1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x) noexcept;
+
+/// P(T <= t) for T ~ Student-t with `df` degrees of freedom (df > 0).
+[[nodiscard]] double student_t_cdf(double t, double df) noexcept;
+
+/// Inverse CDF of the Student-t distribution, p in (0,1).
+[[nodiscard]] double student_t_quantile(double p, double df) noexcept;
+
+/// Two-sided critical value: t with P(|T| <= t) == confidence.
+/// E.g. t_critical(4, 0.95) == 2.776... (5 runs -> 4 degrees of freedom).
+[[nodiscard]] double t_critical(double df, double confidence) noexcept;
+
+}  // namespace rhhh

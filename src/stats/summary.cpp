@@ -1,0 +1,28 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+#include "stats/student_t.hpp"
+
+namespace rhhh {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+Interval RunningStats::mean_ci(double confidence) const noexcept {
+  if (n_ < 2) return Interval{mean_, mean_};
+  const double t = t_critical(static_cast<double>(n_ - 1), confidence);
+  const double half = t * sem();
+  return Interval{mean_ - half, mean_ + half};
+}
+
+Interval mean_ci(std::span<const double> xs, double confidence) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean_ci(confidence);
+}
+
+}  // namespace rhhh

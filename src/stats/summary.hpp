@@ -1,0 +1,53 @@
+// Streaming summary statistics (Welford) and mean confidence intervals.
+//
+// Every benchmark data point is reported as mean over R runs with a
+// two-sided 95% Student-t confidence interval, matching the paper's
+// methodology (Section 4: 5 runs, two-sided Student's t-test, 95% CI).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "stats/poisson.hpp"
+
+namespace rhhh {
+
+/// Numerically stable running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Two-sided Student-t confidence interval on the mean.
+  [[nodiscard]] Interval mean_ci(double confidence = 0.95) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: mean CI over a batch of observations.
+[[nodiscard]] Interval mean_ci(std::span<const double> xs,
+                               double confidence = 0.95) noexcept;
+
+}  // namespace rhhh

@@ -1,0 +1,82 @@
+#include "trace/address_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+
+HierarchicalAddressModel::HierarchicalAddressModel(
+    std::uint64_t seed, const std::array<double, 4>& byte_skews)
+    : seed_(seed) {
+  for (int k = 0; k < 4; ++k) {
+    auto& cdf = cdf_[static_cast<std::size_t>(k)];
+    auto& perm = perm_[static_cast<std::size_t>(k)];
+    const double s = byte_skews[static_cast<std::size_t>(k)];
+
+    // Exact Zipf pmf over ranks 1..256 (rank r has weight (r)^-s).
+    std::array<double, 256> w{};
+    double total = 0.0;
+    for (int r = 0; r < 256; ++r) {
+      w[static_cast<std::size_t>(r)] =
+          s <= 0.0 ? 1.0 : std::pow(static_cast<double>(r + 1), -s);
+      total += w[static_cast<std::size_t>(r)];
+    }
+    double acc = 0.0;
+    for (int r = 0; r < 256; ++r) {
+      acc += w[static_cast<std::size_t>(r)] / total;
+      const double scaled = acc * 4294967296.0;
+      cdf[static_cast<std::size_t>(r)] = static_cast<std::uint32_t>(
+          std::min(scaled, 4294967295.0));
+    }
+    cdf[255] = 0xffffffffu;  // exact closure despite rounding
+
+    // Fisher-Yates permutation of byte values, seeded per (seed, k).
+    for (int v = 0; v < 256; ++v) perm[static_cast<std::size_t>(v)] =
+        static_cast<std::uint8_t>(v);
+    Xoroshiro128 rng(mix64(seed ^ (0xa24baed4963ee407ULL + static_cast<std::uint64_t>(k))));
+    for (int v = 255; v > 0; --v) {
+      const auto j = rng.bounded(static_cast<std::uint32_t>(v + 1));
+      std::swap(perm[static_cast<std::size_t>(v)], perm[j]);
+    }
+  }
+}
+
+std::uint8_t HierarchicalAddressModel::byte_at(std::uint64_t flow_id, int k) const noexcept {
+  const auto& cdf = cdf_[static_cast<std::size_t>(k)];
+  // Deterministic 32-bit draw per (flow, byte position).
+  const auto u = static_cast<std::uint32_t>(
+      mix64(flow_id ^ (seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(k) + 1))) >> 32);
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto rank = static_cast<std::size_t>(it - cdf.begin());
+  return perm_[static_cast<std::size_t>(k)][rank];
+}
+
+Ipv4 HierarchicalAddressModel::address(std::uint64_t flow_id) const noexcept {
+  return ipv4(byte_at(flow_id, 0), byte_at(flow_id, 1), byte_at(flow_id, 2),
+              byte_at(flow_id, 3));
+}
+
+Ipv6 HierarchicalAddressModel::address6(std::uint64_t flow_id) const noexcept {
+  // Derive 16 bytes from four independent skewed draws per quarter: byte
+  // positions 0..3 reuse skew profile 0..3 within each 4-byte group, with a
+  // distinct flow perturbation per group so groups are not identical.
+  Ipv6 out{};
+  for (int group = 0; group < 4; ++group) {
+    std::uint32_t word = 0;
+    const std::uint64_t fid = flow_id ^ (0x6c62272e07bb0142ULL * static_cast<std::uint64_t>(group));
+    for (int k = 0; k < 4; ++k) {
+      word = (word << 8) | byte_at(fid, k);
+    }
+    if (group < 2) {
+      out.hi = (out.hi << 32) | word;
+    } else {
+      out.lo = (out.lo << 32) | word;
+    }
+  }
+  return out;
+}
+
+}  // namespace rhhh

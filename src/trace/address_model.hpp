@@ -1,0 +1,43 @@
+// Hierarchically skewed address synthesis.
+//
+// The algorithms under test aggregate traffic along prefixes, so the
+// synthetic traces must exhibit skew at *every* hierarchy level, as real
+// backbone traffic does. Each address byte is drawn from an exact Zipf pmf
+// over 0..255 (skew decreasing with depth: /8s are more concentrated than
+// host bytes) and passed through a seeded byte permutation so different
+// trace presets place their heavy prefixes in different parts of the
+// address space. Flow id -> address is deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+
+namespace rhhh {
+
+class HierarchicalAddressModel {
+ public:
+  /// `byte_skews[k]` is the Zipf exponent for byte k (k = 0 is the most
+  /// significant byte). A skew of 0 gives a uniform byte.
+  HierarchicalAddressModel(std::uint64_t seed, const std::array<double, 4>& byte_skews);
+
+  /// Deterministic IPv4 address for a flow id.
+  [[nodiscard]] Ipv4 address(std::uint64_t flow_id) const noexcept;
+
+  /// Deterministic IPv6 address for a flow id: the IPv4-style skewed bytes
+  /// are expanded over 16 bytes (each nibble pattern repeated) so that
+  /// prefix-level structure exists along the whole 128-bit hierarchy.
+  [[nodiscard]] Ipv6 address6(std::uint64_t flow_id) const noexcept;
+
+ private:
+  [[nodiscard]] std::uint8_t byte_at(std::uint64_t flow_id, int k) const noexcept;
+
+  // cdf_[k][v]: P(byte <= v) scaled to 2^32, inverted by binary search.
+  std::array<std::array<std::uint32_t, 256>, 4> cdf_{};
+  std::array<std::array<std::uint8_t, 256>, 4> perm_{};
+  std::uint64_t seed_;
+};
+
+}  // namespace rhhh

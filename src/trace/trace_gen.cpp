@@ -1,0 +1,105 @@
+#include "trace/trace_gen.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+TraceConfig trace_preset(std::string_view name) {
+  TraceConfig cfg;
+  cfg.name = std::string(name);
+  if (name == "chicago15") {
+    cfg.seed = 0xC41CA600151217ULL;
+    cfg.flow_skew = 1.03;
+    cfg.num_flows = 1u << 20;
+    cfg.src_byte_skew = {1.25, 1.05, 0.90, 0.70};
+    cfg.dst_byte_skew = {1.10, 0.95, 0.85, 0.65};
+  } else if (name == "chicago16") {
+    cfg.seed = 0xC41CA600160218ULL;
+    cfg.flow_skew = 1.08;
+    cfg.num_flows = 3u << 19;
+    cfg.src_byte_skew = {1.30, 1.00, 0.85, 0.70};
+    cfg.dst_byte_skew = {1.15, 1.00, 0.80, 0.60};
+  } else if (name == "sanjose13") {
+    cfg.seed = 0x5A4705E00131219ULL;
+    cfg.flow_skew = 0.98;
+    cfg.num_flows = 1u << 21;
+    cfg.src_byte_skew = {1.20, 1.05, 0.95, 0.75};
+    cfg.dst_byte_skew = {1.05, 0.95, 0.85, 0.70};
+  } else if (name == "sanjose14") {
+    cfg.seed = 0x5A4705E00140619ULL;
+    cfg.flow_skew = 1.12;
+    cfg.num_flows = 1u << 20;
+    cfg.src_byte_skew = {1.35, 1.10, 0.90, 0.65};
+    cfg.dst_byte_skew = {1.20, 1.00, 0.85, 0.60};
+  } else {
+    throw std::invalid_argument("unknown trace preset: " + cfg.name);
+  }
+  return cfg;
+}
+
+const std::vector<std::string>& trace_preset_names() {
+  static const std::vector<std::string> names = {"chicago15", "chicago16",
+                                                 "sanjose13", "sanjose14"};
+  return names;
+}
+
+TraceGenerator::TraceGenerator(TraceConfig cfg)
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      flow_dist_(cfg_.num_flows, cfg_.flow_skew),
+      src_model_(mix64(cfg_.seed ^ 0x535243ULL), cfg_.src_byte_skew),
+      dst_model_(mix64(cfg_.seed ^ 0x445354ULL), cfg_.dst_byte_skew),
+      cache_(kCacheSize) {}
+
+PacketRecord TraceGenerator::next() {
+  const std::uint64_t flow = flow_dist_(rng_);
+  PacketRecord p;
+  if (flow < kCacheSize) {
+    CachedFlow& c = cache_[flow];
+    if (!c.valid) {
+      c.src = src_model_.address(flow);
+      c.dst = dst_model_.address(flow);
+      c.valid = true;
+    }
+    p.src_ip = c.src;
+    p.dst_ip = c.dst;
+  } else {
+    p.src_ip = src_model_.address(flow);
+    p.dst_ip = dst_model_.address(flow);
+  }
+
+  // Ports / protocol / size are flow-deterministic so the same flow looks
+  // consistent across its packets.
+  const std::uint64_t fh = mix64(flow ^ cfg_.seed);
+  const double proto_roll = static_cast<double>(fh & 0xffff) * 0x1p-16;
+  if (proto_roll < cfg_.icmp_share) {
+    p.proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+    p.src_port = 0;
+    p.dst_port = 0;
+  } else {
+    p.proto = static_cast<std::uint8_t>(
+        proto_roll < cfg_.icmp_share + cfg_.tcp_share ? IpProto::kTcp : IpProto::kUdp);
+    p.src_port = static_cast<std::uint16_t>(1024 + ((fh >> 16) % 60000));
+    p.dst_port = static_cast<std::uint16_t>((fh >> 40) % 9 == 0
+                                                ? 443
+                                                : ((fh >> 32) % 10 == 0 ? 80 : 53));
+  }
+  // Packet size mix: mostly small (ACK-sized), some MTU-sized.
+  const std::uint32_t size_roll = rng_.bounded(10);
+  p.length = size_roll < 5 ? 64 : (size_roll < 8 ? 576 : 1500);
+  ts_us_ += 1 + rng_.bounded(3);
+  p.ts_us = ts_us_;
+  ++emitted_;
+  return p;
+}
+
+std::vector<PacketRecord> TraceGenerator::generate(std::size_t n) {
+  std::vector<PacketRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace rhhh

@@ -1,0 +1,122 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace rhhh {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  put_u16(p, static_cast<std::uint16_t>(v));
+  put_u16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return get_u16(p) | (std::uint32_t{get_u16(p + 2)} << 16);
+}
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return get_u32(p) | (std::uint64_t{get_u32(p + 4)} << 32);
+}
+
+constexpr std::size_t kHeaderSize = 16;
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  std::array<std::uint8_t, kHeaderSize> h{};
+  put_u32(h.data(), kTraceMagic);
+  put_u32(h.data() + 4, kTraceVersion);
+  put_u64(h.data() + 8, 0);  // patched in close()
+  out_.write(reinterpret_cast<const char*>(h.data()), kHeaderSize);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an incomplete file keeps count = 0 in the
+    // header and is rejected only if truncated mid-record.
+  }
+}
+
+void TraceWriter::write(const PacketRecord& p) {
+  std::array<std::uint8_t, kTraceRecordSize> r{};
+  put_u32(r.data(), p.src_ip);
+  put_u32(r.data() + 4, p.dst_ip);
+  put_u16(r.data() + 8, p.src_port);
+  put_u16(r.data() + 10, p.dst_port);
+  r[12] = p.proto;
+  r[13] = 0;
+  put_u16(r.data() + 14, p.length);
+  put_u32(r.data() + 16, p.ts_us);
+  out_.write(reinterpret_cast<const char*>(r.data()), kTraceRecordSize);
+  if (!out_) throw std::runtime_error("TraceWriter: write failed");
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  std::array<std::uint8_t, 8> c{};
+  put_u64(c.data(), count_);
+  out_.seekp(8);
+  out_.write(reinterpret_cast<const char*>(c.data()), 8);
+  out_.flush();
+  if (!out_) throw std::runtime_error("TraceWriter: close failed");
+}
+
+TraceReader::TraceReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  std::array<std::uint8_t, kHeaderSize> h{};
+  in_.read(reinterpret_cast<char*>(h.data()), kHeaderSize);
+  if (in_.gcount() != kHeaderSize || get_u32(h.data()) != kTraceMagic) {
+    throw std::runtime_error("TraceReader: bad header in " + path);
+  }
+  if (get_u32(h.data() + 4) != kTraceVersion) {
+    throw std::runtime_error("TraceReader: unsupported version in " + path);
+  }
+  count_ = get_u64(h.data() + 8);
+}
+
+std::optional<PacketRecord> TraceReader::next() {
+  if (read_ >= count_) return std::nullopt;
+  std::array<std::uint8_t, kTraceRecordSize> r{};
+  in_.read(reinterpret_cast<char*>(r.data()), kTraceRecordSize);
+  if (in_.gcount() != static_cast<std::streamsize>(kTraceRecordSize)) {
+    throw std::runtime_error("TraceReader: truncated record");
+  }
+  PacketRecord p;
+  p.src_ip = get_u32(r.data());
+  p.dst_ip = get_u32(r.data() + 4);
+  p.src_port = get_u16(r.data() + 8);
+  p.dst_port = get_u16(r.data() + 10);
+  p.proto = r[12];
+  p.length = get_u16(r.data() + 14);
+  p.ts_us = get_u32(r.data() + 16);
+  ++read_;
+  return p;
+}
+
+std::vector<PacketRecord> TraceReader::read_all(const std::string& path) {
+  TraceReader reader(path);
+  std::vector<PacketRecord> out;
+  out.reserve(reader.count());
+  while (auto p = reader.next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace rhhh

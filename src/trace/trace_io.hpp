@@ -1,0 +1,64 @@
+// Binary trace files ("RHHT" format): persist and replay PacketRecord
+// streams so experiments can be re-run on identical inputs and shared
+// between the example tools and the benchmark harness.
+//
+// Layout (little-endian):
+//   header: magic "RHHT" (4 bytes), version u32, count u64
+//   record: src u32 | dst u32 | sport u16 | dport u16 | proto u8 | pad u8
+//           | length u16 | ts_us u32                            (20 bytes)
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rhhh {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54484852u;  // "RHHT" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceRecordSize = 20;
+
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const PacketRecord& p);
+  /// Flushes and patches the record count into the header. Idempotent;
+  /// called by the destructor if not called explicitly.
+  void close();
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates the header; throws std::runtime_error on failure
+  /// or malformed header.
+  explicit TraceReader(const std::string& path);
+
+  /// Next record, or nullopt at end of stream.
+  [[nodiscard]] std::optional<PacketRecord> next();
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Convenience: slurp a whole file.
+  [[nodiscard]] static std::vector<PacketRecord> read_all(const std::string& path);
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,52 @@
+#include "trace/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rhhh {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfDistribution: s must be > 0");
+  log_mode_ = std::fabs(s - 1.0) < 1e-9;
+  h_x1_ = h_integral(1.5) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfDistribution::h(double x) const noexcept {
+  return log_mode_ ? 1.0 / x : std::pow(x, -s_);
+}
+
+double ZipfDistribution::h_integral(double x) const noexcept {
+  if (log_mode_) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::h_integral_inverse(double v) const noexcept {
+  if (log_mode_) return std::exp(v);
+  double t = v * (1.0 - s_) + 1.0;
+  if (t < 0.0) t = 0.0;  // numerical guard near the tail
+  return std::pow(t, 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoroshiro128& rng) const noexcept {
+  // Rejection-inversion (Apache Commons RejectionInversionZipfSampler
+  // formulation): invert on the integral envelope, accept with the exact pmf.
+  while (true) {
+    const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace rhhh

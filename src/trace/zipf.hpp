@@ -1,0 +1,41 @@
+// Bounded Zipf distribution via rejection-inversion sampling
+// [Hoermann & Derflinger 1996], the standard exact method for
+// Zipf(n, s) without precomputing harmonic tables.
+//
+// Internet flow-size distributions are heavy-tailed; the synthetic traces
+// standing in for the paper's CAIDA captures draw flow popularity from this
+// distribution (DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace rhhh {
+
+/// Zipf over {1, ..., n} with P(k) proportional to k^-s. Smaller k = more
+/// popular. Exponent s > 0 (s near 1 is typical for flow popularity).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+  /// Draws one sample in [1, n].
+  [[nodiscard]] std::uint64_t operator()(Xoroshiro128& rng) const noexcept;
+
+ private:
+  [[nodiscard]] double h(double x) const noexcept;
+  [[nodiscard]] double h_integral(double x) const noexcept;
+  [[nodiscard]] double h_integral_inverse(double v) const noexcept;
+
+  std::uint64_t n_;
+  double s_;
+  bool log_mode_;  // |s - 1| tiny: use the logarithmic branch
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,49 @@
+// Small bit-manipulation helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace rhhh {
+
+/// Rotate left (constexpr wrapper so call sites read uniformly).
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return std::rotl(x, k);
+}
+
+/// Next power of two >= x (x == 0 yields 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+/// True iff x is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// A mask with the top `bits` bits of a 64-bit word set.
+/// bits == 0 gives 0; bits == 64 gives all ones.
+[[nodiscard]] constexpr std::uint64_t high_bits_mask64(int bits) noexcept {
+  if (bits <= 0) return 0;
+  if (bits >= 64) return ~std::uint64_t{0};
+  return ~std::uint64_t{0} << (64 - bits);
+}
+
+/// A mask with the low `bits` bits set. bits==0 -> 0, bits>=64 -> all ones.
+[[nodiscard]] constexpr std::uint64_t low_bits_mask64(int bits) noexcept {
+  if (bits <= 0) return 0;
+  if (bits >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixing function. Used both for
+/// hashing and for seeding the stream generators.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rhhh

@@ -1,0 +1,75 @@
+// Key128: the single key type used throughout the HHH lattice machinery.
+//
+// IPv4 one-dimensional prefixes use the low 32 bits, two-dimensional
+// source/destination pairs pack src||dst into the low 64 bits, and IPv6
+// addresses use the full 128 bits. Using one trivially-copyable key type
+// keeps the Space-Saving / hash-map template instantiations small.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+struct Key128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const Key128&, const Key128&) noexcept = default;
+  friend constexpr auto operator<=>(const Key128&, const Key128&) noexcept = default;
+
+  friend constexpr Key128 operator&(const Key128& a, const Key128& b) noexcept {
+    return Key128{a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr Key128 operator|(const Key128& a, const Key128& b) noexcept {
+    return Key128{a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr Key128 operator^(const Key128& a, const Key128& b) noexcept {
+    return Key128{a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  constexpr Key128 operator~() const noexcept { return Key128{~hi, ~lo}; }
+
+  /// Key for a single 32-bit value (1D IPv4 hierarchies).
+  [[nodiscard]] static constexpr Key128 from_u32(std::uint32_t v) noexcept {
+    return Key128{0, v};
+  }
+  /// Key for a (src, dst) IPv4 pair: src in bits [32,64), dst in [0,32).
+  [[nodiscard]] static constexpr Key128 from_pair(std::uint32_t src,
+                                                  std::uint32_t dst) noexcept {
+    return Key128{0, (static_cast<std::uint64_t>(src) << 32) | dst};
+  }
+  /// Key for a 64-bit value.
+  [[nodiscard]] static constexpr Key128 from_u64(std::uint64_t v) noexcept {
+    return Key128{0, v};
+  }
+};
+
+/// Strong hash for Key128 (SplitMix64 over both words; asymmetric combine so
+/// swapped hi/lo do not collide).
+struct Key128Hash {
+  [[nodiscard]] constexpr std::uint64_t operator()(const Key128& k) const noexcept {
+    return mix64(k.lo) ^ (mix64(k.hi ^ 0x6a09e667f3bcc909ULL) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// Generic key hash usable by the containers for integral keys too.
+template <class K>
+struct KeyHash {
+  [[nodiscard]] constexpr std::uint64_t operator()(const K& k) const noexcept {
+    return mix64(static_cast<std::uint64_t>(k));
+  }
+};
+template <>
+struct KeyHash<Key128> : Key128Hash {};
+
+}  // namespace rhhh
+
+template <>
+struct std::hash<rhhh::Key128> {
+  [[nodiscard]] std::size_t operator()(const rhhh::Key128& k) const noexcept {
+    return static_cast<std::size_t>(rhhh::Key128Hash{}(k));
+  }
+};

@@ -1,0 +1,60 @@
+// Fast deterministic random number generation for the packet path.
+//
+// RHHH's per-packet work is one bounded random draw plus (sometimes) one
+// Space-Saving increment, so the RNG must be a handful of instructions.
+// We use xoroshiro128++ (Blackman & Vigna) seeded via SplitMix64, and
+// Lemire's multiply-shift method for uniform bounded integers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+/// xoroshiro128++ PRNG. Satisfies std::uniform_random_bit_generator so it
+/// can also drive <random> distributions in non-hot-path code.
+class Xoroshiro128 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the two words of state via SplitMix64 so that any seed (including
+  /// 0) yields a well-mixed, nonzero state.
+  explicit constexpr Xoroshiro128(std::uint64_t seed = 0x8badf00ddeadbeefULL) noexcept
+      : s0_(mix64(seed)), s1_(mix64(seed + 0x9e3779b97f4a7c15ULL)) {
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // the all-zero state is absorbing
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t r = rotl64(s0_ + s1_, 17) + s0_;
+    const std::uint64_t t = s1_ ^ s0_;
+    s0_ = rotl64(s0_, 49) ^ t ^ (t << 21);
+    s1_ = rotl64(t, 28);
+    return r;
+  }
+
+  /// Uniform integer in [0, n) via Lemire's multiply-shift. `n` must be > 0.
+  /// The slight modulo bias (< 2^-32 for n <= 2^32) is irrelevant for the
+  /// sampling analysis and is the standard trade for a division-free path.
+  constexpr std::uint32_t bounded(std::uint32_t n) noexcept {
+    const std::uint64_t x = (*this)() >> 32;  // top 32 bits: best quality
+    return static_cast<std::uint32_t>((x * n) >> 32);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace rhhh

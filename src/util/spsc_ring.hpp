@@ -1,0 +1,79 @@
+// SpscRing: a bounded lock-free single-producer/single-consumer queue.
+//
+// This is the forwarding channel of the "distributed" measurement deployment
+// (paper §5.2): the virtual-switch dataplane pushes sampled packet records,
+// a measurement thread pops them. A full ring drops the record (and the
+// caller counts it), mirroring a saturated forwarding port.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+/// Destructive-interference distance. Pinned to 64 (every mainstream x86/ARM
+/// server core) rather than std::hardware_destructive_interference_size,
+/// whose value shifts with -mtune and would silently change the ABI.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <class T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing is specialized for POD records");
+
+ public:
+  /// Capacity is rounded up to a power of two; one slot is kept free to
+  /// distinguish full from empty, so usable capacity is `capacity() - 1`.
+  explicit SpscRing(std::size_t capacity)
+      : buf_(next_pow2(capacity < 2 ? 2 : capacity)), mask_(buf_.size() - 1) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Producer side. Returns false (drops) when the ring is full.
+  bool try_push(const T& v) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;
+    }
+    buf_[tail] = v;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = buf_[head];
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate number of queued records (exact only when quiescent).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return (t - h) & mask_;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer index
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // consumer's view of tail
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer index
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // producer's view of head
+};
+
+}  // namespace rhhh

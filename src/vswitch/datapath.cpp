@@ -1,0 +1,45 @@
+#include "vswitch/datapath.hpp"
+
+namespace rhhh {
+
+Datapath::Datapath(DatapathConfig cfg)
+    : emc_(cfg.emc_capacity), default_action_(cfg.default_action) {}
+
+Action Datapath::process(const PacketRecord& p) {
+  ++stats_.received;
+  if (hook_ != nullptr) hook_->on_packet(p);
+
+  const FiveTuple t = FiveTuple::of(p);
+  Action action;
+  if (const Action* a = emc_.lookup(t)) {
+    ++stats_.emc_hits;
+    action = *a;
+  } else if (const Action* m = megaflow_.lookup(t)) {
+    ++stats_.megaflow_hits;
+    action = *m;
+    emc_.insert(t, action);
+  } else {
+    // In OVS this is the upcall path; we apply the configured default and
+    // install it so the flow stays on the fast path.
+    ++stats_.misses;
+    action = default_action_;
+    emc_.insert(t, action);
+  }
+
+  if (action.type == ActionType::kOutput) {
+    ++stats_.forwarded;
+  } else {
+    ++stats_.dropped;
+  }
+  return action;
+}
+
+std::uint64_t Datapath::run(std::span<const PacketRecord> packets) {
+  std::uint64_t forwarded = 0;
+  for (const PacketRecord& p : packets) {
+    if (process(p).type == ActionType::kOutput) ++forwarded;
+  }
+  return forwarded;
+}
+
+}  // namespace rhhh

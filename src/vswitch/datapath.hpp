@@ -1,0 +1,82 @@
+// The userspace datapath pipeline (mini dpif-netdev): exact-match cache ->
+// megaflow classifier -> action, with an optional per-packet measurement
+// hook -- exactly where the paper's dataplane integration places the HHH
+// update (Section 5.2, "HHH measurement can be performed as part of the OVS
+// dataplane").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "hhh/hhh_types.hpp"
+#include "net/packet.hpp"
+#include "vswitch/emc.hpp"
+#include "vswitch/megaflow.hpp"
+
+namespace rhhh {
+
+/// Per-packet measurement callback attached to the datapath.
+class MeasurementHook {
+ public:
+  virtual ~MeasurementHook() = default;
+  virtual void on_packet(const PacketRecord& p) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Adapts any HhhAlgorithm into a dataplane hook.
+class HhhHook final : public MeasurementHook {
+ public:
+  explicit HhhHook(HhhAlgorithm& alg) : alg_(&alg) {}
+  void on_packet(const PacketRecord& p) override {
+    alg_->update(alg_->hierarchy().key_of(p));
+  }
+  [[nodiscard]] std::string_view name() const override { return alg_->name(); }
+
+ private:
+  HhhAlgorithm* alg_;
+};
+
+struct DatapathConfig {
+  std::size_t emc_capacity = 8192;
+  Action default_action = Action::output(1);  ///< applied on classifier miss
+};
+
+class Datapath {
+ public:
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t emc_hits = 0;
+    std::uint64_t megaflow_hits = 0;
+    std::uint64_t misses = 0;  ///< neither cache nor classifier matched
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  explicit Datapath(DatapathConfig cfg = {});
+
+  /// Attach (or detach with nullptr) the measurement hook; non-owning.
+  void set_hook(MeasurementHook* hook) noexcept { hook_ = hook; }
+  void add_rule(const FlowMask& mask, const FiveTuple& match, Action action) {
+    megaflow_.add_rule(mask, match, action);
+  }
+
+  /// Full pipeline for one packet; returns the applied action.
+  Action process(const PacketRecord& p);
+
+  /// Convenience batch loop; returns packets forwarded.
+  std::uint64_t run(std::span<const PacketRecord> packets);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ExactMatchCache& emc() const noexcept { return emc_; }
+  [[nodiscard]] const MegaflowTable& megaflow() const noexcept { return megaflow_; }
+
+ private:
+  ExactMatchCache emc_;
+  MegaflowTable megaflow_;
+  MeasurementHook* hook_ = nullptr;
+  Action default_action_;
+  Stats stats_{};
+};
+
+}  // namespace rhhh

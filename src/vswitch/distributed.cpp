@@ -1,0 +1,46 @@
+#include "vswitch/distributed.hpp"
+
+namespace rhhh {
+
+DistributedMeasurement::DistributedMeasurement(const Hierarchy& h,
+                                               LatticeParams params,
+                                               std::size_t ring_capacity)
+    : rhhh_(h, LatticeMode::kRhhh, params),
+      ring_(ring_capacity),
+      rng_(mix64(params.seed ^ 0xd15717b07ed0ULL)),
+      V_(rhhh_.V()),
+      H_(rhhh_.H()),
+      name_("distributed-" + std::string(rhhh_.name())) {}
+
+DistributedMeasurement::~DistributedMeasurement() { stop(); }
+
+void DistributedMeasurement::start() {
+  if (running_.exchange(true)) return;
+  consumer_ = std::thread([this] { consume(); });
+}
+
+void DistributedMeasurement::stop() {
+  if (!running_.exchange(false)) return;
+  if (consumer_.joinable()) consumer_.join();
+  // The consumer drained the ring on exit; fold the full stream length in.
+  rhhh_.advance_stream(offered_.load(std::memory_order_relaxed));
+}
+
+void DistributedMeasurement::consume() {
+  Sample s;
+  while (running_.load(std::memory_order_relaxed)) {
+    if (ring_.try_pop(s)) {
+      rhhh_.ingest_sampled(s.level, s.key);
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  // Final drain after the producer stopped.
+  while (ring_.try_pop(s)) {
+    rhhh_.ingest_sampled(s.level, s.key);
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rhhh

@@ -1,0 +1,87 @@
+// Distributed measurement deployment (paper Section 5.2 / Figure 8): the
+// switch dataplane performs only RHHH's random level selection and forwards
+// sampled records over a lock-free ring to a separate measurement thread
+// (the paper's measurement VM). With V > H only a H/V fraction of packets
+// crosses the ring, which is why throughput grows with V in Figure 8.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "hhh/lattice_hhh.hpp"
+#include "util/random.hpp"
+#include "util/spsc_ring.hpp"
+#include "vswitch/datapath.hpp"
+
+namespace rhhh {
+
+class DistributedMeasurement final : public MeasurementHook {
+ public:
+  /// The hierarchy/params configure the consumer-side RHHH instance; the
+  /// producer side only needs V and H. Ring overflow drops the sample (a
+  /// saturated forwarding port) and is counted.
+  DistributedMeasurement(const Hierarchy& h, LatticeParams params,
+                         std::size_t ring_capacity = 1 << 16);
+  ~DistributedMeasurement() override;
+
+  DistributedMeasurement(const DistributedMeasurement&) = delete;
+  DistributedMeasurement& operator=(const DistributedMeasurement&) = delete;
+
+  /// Spawns the measurement thread. Must be called before feeding packets.
+  void start();
+  /// Drains the ring, stops and joins the measurement thread, and folds the
+  /// observed stream length into the consumer-side instance.
+  void stop();
+
+  // -- producer side (datapath thread) --------------------------------------
+  void on_packet(const PacketRecord& p) override {
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t d = rng_.bounded(V_);
+    if (d < H_) {
+      if (!ring_.try_push(Sample{d, key_of(p)})) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  // -- results (valid after stop()) -----------------------------------------
+  [[nodiscard]] HhhSet output(double theta) const { return rhhh_.output(theta); }
+  [[nodiscard]] const RhhhSpaceSaving& algorithm() const noexcept { return rhhh_; }
+
+  [[nodiscard]] std::uint64_t offered() const noexcept {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Sample {
+    std::uint32_t level;
+    Key128 key;
+  };
+
+  [[nodiscard]] Key128 key_of(const PacketRecord& p) const noexcept {
+    return rhhh_.hierarchy().key_of(p);
+  }
+  void consume();
+
+  RhhhSpaceSaving rhhh_;  // consumer-side instance; sampling done by producer
+  SpscRing<Sample> ring_;
+  Xoroshiro128 rng_;
+  std::thread consumer_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::uint32_t V_;
+  std::uint32_t H_;
+  std::string name_;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,48 @@
+#include "vswitch/emc.hpp"
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+ExactMatchCache::ExactMatchCache(std::size_t capacity) {
+  const std::size_t sets = next_pow2(capacity < kWays ? 1 : capacity / kWays);
+  slots_.resize(sets * kWays);
+  set_mask_ = sets - 1;
+}
+
+const Action* ExactMatchCache::lookup(const FiveTuple& t) noexcept {
+  Slot* set = &slots_[set_of(t) * kWays];
+  for (std::size_t w = 0; w < kWays; ++w) {
+    if (set[w].valid && set[w].key == t) {
+      ++hits_;
+      return &set[w].action;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void ExactMatchCache::insert(const FiveTuple& t, Action a) noexcept {
+  Slot* set = &slots_[set_of(t) * kWays];
+  for (std::size_t w = 0; w < kWays; ++w) {
+    if (set[w].valid && set[w].key == t) {
+      set[w].action = a;
+      return;
+    }
+  }
+  for (std::size_t w = 0; w < kWays; ++w) {
+    if (!set[w].valid) {
+      set[w] = Slot{t, a, true};
+      return;
+    }
+  }
+  set[tick_++ % kWays] = Slot{t, a, true};
+}
+
+void ExactMatchCache::clear() noexcept {
+  for (Slot& s : slots_) s.valid = false;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace rhhh

@@ -1,0 +1,50 @@
+// Exact-match cache: the first-level per-flow cache of the OVS userspace
+// datapath (dpif-netdev). Two-way set-associative over the full 5-tuple;
+// megaflow lookups install their result here so subsequent packets of the
+// same flow hit in O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "vswitch/flow.hpp"
+
+namespace rhhh {
+
+class ExactMatchCache {
+ public:
+  /// `capacity` is rounded up to a power of two (default mirrors OVS's 8192).
+  explicit ExactMatchCache(std::size_t capacity = 8192);
+
+  /// Returns the cached action or nullptr on miss.
+  [[nodiscard]] const Action* lookup(const FiveTuple& t) noexcept;
+
+  /// Installs (or refreshes) an entry, evicting within the set if needed.
+  void insert(const FiveTuple& t, Action a) noexcept;
+
+  void clear() noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    FiveTuple key{};
+    Action action{};
+    bool valid = false;
+  };
+  static constexpr std::size_t kWays = 2;
+
+  [[nodiscard]] std::size_t set_of(const FiveTuple& t) const noexcept {
+    return (FiveTupleHash{}(t) >> 8) & set_mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t set_mask_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t tick_ = 0;  // round-robin victim selection within a set
+};
+
+}  // namespace rhhh

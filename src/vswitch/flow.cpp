@@ -1,0 +1,17 @@
+#include "vswitch/flow.hpp"
+
+#include "util/bits.hpp"
+
+namespace rhhh {
+
+FlowMask FlowMask::prefixes(int src_bits, int dst_bits) noexcept {
+  FlowMask m;
+  m.src_ip = static_cast<std::uint32_t>(high_bits_mask64(src_bits) >> 32);
+  m.dst_ip = static_cast<std::uint32_t>(high_bits_mask64(dst_bits) >> 32);
+  m.src_port = 0;
+  m.dst_port = 0;
+  m.proto = 0;
+  return m;
+}
+
+}  // namespace rhhh

@@ -1,0 +1,52 @@
+// Flow-level vocabulary of the mini virtual switch: actions, wildcard masks
+// and masked flow rules (the OVS "megaflow" abstraction).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace rhhh {
+
+enum class ActionType : std::uint8_t { kOutput, kDrop };
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  std::uint16_t port = 0;
+
+  friend constexpr bool operator==(const Action&, const Action&) noexcept = default;
+
+  [[nodiscard]] static constexpr Action output(std::uint16_t port) noexcept {
+    return Action{ActionType::kOutput, port};
+  }
+  [[nodiscard]] static constexpr Action drop() noexcept {
+    return Action{ActionType::kDrop, 0};
+  }
+};
+
+/// Bitwise wildcard mask over the 5-tuple (OVS-style: a megaflow subtable
+/// is the set of flows sharing one mask).
+struct FlowMask {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  friend constexpr bool operator==(const FlowMask&, const FlowMask&) noexcept = default;
+
+  [[nodiscard]] constexpr FiveTuple apply(const FiveTuple& t) const noexcept {
+    return FiveTuple{t.src_ip & src_ip, t.dst_ip & dst_ip,
+                     static_cast<std::uint16_t>(t.src_port & src_port),
+                     static_cast<std::uint16_t>(t.dst_port & dst_port),
+                     static_cast<std::uint8_t>(t.proto & proto)};
+  }
+
+  [[nodiscard]] static constexpr FlowMask exact() noexcept {
+    return FlowMask{0xffffffffu, 0xffffffffu, 0xffff, 0xffff, 0xff};
+  }
+  /// Source/destination prefix mask (ports and protocol wildcarded).
+  [[nodiscard]] static FlowMask prefixes(int src_bits, int dst_bits) noexcept;
+};
+
+}  // namespace rhhh

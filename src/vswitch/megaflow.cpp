@@ -1,0 +1,27 @@
+#include "vswitch/megaflow.hpp"
+
+namespace rhhh {
+
+void MegaflowTable::add_rule(const FlowMask& mask, const FiveTuple& match,
+                             Action action) {
+  for (Subtable& st : subtables_) {
+    if (st.mask == mask) {
+      st.flows.insert_or_assign(mask.apply(match), action);
+      ++rules_;
+      return;
+    }
+  }
+  subtables_.emplace_back();
+  subtables_.back().mask = mask;
+  subtables_.back().flows.insert_or_assign(mask.apply(match), action);
+  ++rules_;
+}
+
+const Action* MegaflowTable::lookup(const FiveTuple& t) const noexcept {
+  for (const Subtable& st : subtables_) {
+    if (const Action* a = st.flows.find(st.mask.apply(t))) return a;
+  }
+  return nullptr;
+}
+
+}  // namespace rhhh

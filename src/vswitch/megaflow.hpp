@@ -1,0 +1,38 @@
+// Megaflow classifier: OVS-style tuple-space search. Rules sharing a
+// wildcard mask live in one hash subtable; lookup masks the packet with
+// each subtable's mask in insertion-priority order and returns the first
+// hit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/flat_hash_map.hpp"
+#include "vswitch/flow.hpp"
+
+namespace rhhh {
+
+class MegaflowTable {
+ public:
+  /// Adds a rule: packets whose masked 5-tuple equals mask.apply(match) get
+  /// `action`. Subtables keep the insertion order of their first rule
+  /// (earlier masks win on overlap).
+  void add_rule(const FlowMask& mask, const FiveTuple& match, Action action);
+
+  /// First-match lookup across subtables; nullptr if nothing matches.
+  [[nodiscard]] const Action* lookup(const FiveTuple& t) const noexcept;
+
+  [[nodiscard]] std::size_t subtables() const noexcept { return subtables_.size(); }
+  [[nodiscard]] std::size_t rules() const noexcept { return rules_; }
+
+ private:
+  struct Subtable {
+    FlowMask mask;
+    FlatHashMap<FiveTuple, Action, FiveTupleHash> flows{64};
+  };
+  std::vector<Subtable> subtables_;
+  std::size_t rules_ = 0;
+};
+
+}  // namespace rhhh

@@ -1,0 +1,271 @@
+// Tests for the evaluation layer: exact ground truth (Definition 8) on
+// hand-crafted streams, conditioned-frequency queries (Definition 6), and
+// the three paper metrics, including end-to-end integration with the
+// algorithms (RHHH's guarantees checked empirically past psi).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "hhh/lattice_hhh.hpp"
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace rhhh {
+namespace {
+
+// --------------------------------------------------------- ground truth ----
+
+TEST(GroundTruth, EmptyStream) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  EXPECT_TRUE(truth.compute(0.1).empty());
+  EXPECT_TRUE(truth.heavy_prefixes(0.1).empty());
+}
+
+TEST(GroundTruth, SingleKeyDominates) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  const Key128 k = Key128::from_u32(ipv4(8, 8, 8, 8));
+  truth.add(k, 90);
+  truth.add(Key128::from_u32(ipv4(1, 1, 1, 1)), 10);
+  const HhhSet set = truth.compute(0.5);
+  // Only the fully-specified 8.8.8.8 qualifies; every ancestor's conditioned
+  // frequency drops to 10 once it is selected.
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(h.format(set[0].prefix), "8.8.8.8");
+  EXPECT_DOUBLE_EQ(set[0].f_est, 90.0);
+}
+
+TEST(GroundTruth, AggregateOnlyHhh) {
+  // No single item is heavy but their /16 aggregate is (the DDoS pattern the
+  // paper motivates in the introduction).
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  for (int i = 0; i < 60; ++i) {
+    truth.add(Key128::from_u32(ipv4(66, 66, static_cast<std::uint8_t>(i), 1)), 1);
+  }
+  for (int i = 0; i < 40; ++i) {
+    truth.add(Key128::from_u32(ipv4(static_cast<std::uint8_t>(100 + i), 1, 1, 1)), 1);
+  }
+  const HhhSet set = truth.compute(0.5);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(h.format(set[0].prefix), "66.66.*.*");
+  EXPECT_DOUBLE_EQ(set[0].c_hat, 60.0);
+}
+
+TEST(GroundTruth, LevelConditioningWithinLevel) {
+  // Two sibling /24s each heavy, their /16 parent must NOT be an HHH after
+  // both are selected (its conditioned count is 0).
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  for (int i = 0; i < 50; ++i) {
+    truth.add(Key128::from_u32(ipv4(9, 9, 1, static_cast<std::uint8_t>(i))), 1);
+    truth.add(Key128::from_u32(ipv4(9, 9, 2, static_cast<std::uint8_t>(i))), 1);
+  }
+  const HhhSet set = truth.compute(0.3);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(
+      Prefix{h.node_index(1), h.mask_key(h.node_index(1),
+                                         Key128::from_u32(ipv4(9, 9, 1, 0)))}));
+  EXPECT_TRUE(set.contains(
+      Prefix{h.node_index(1), h.mask_key(h.node_index(1),
+                                         Key128::from_u32(ipv4(9, 9, 2, 0)))}));
+}
+
+TEST(GroundTruth, TwoDimensionalLattice) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  ExactHhh truth(h);
+  // 50 packets from one /16 (distinct /24s, fully scattered dsts) and 50
+  // packets to one dst address from fully scattered sources -- so the only
+  // heavy aggregates are (10.1.*.*, *) and (*, 99.99.99.99).
+  for (int i = 0; i < 50; ++i) {
+    truth.add(Key128::from_pair(ipv4(10, 1, static_cast<std::uint8_t>(i), 1),
+                                ipv4(static_cast<std::uint8_t>(60 + i),
+                                     static_cast<std::uint8_t>(i), 1, 1)));
+    truth.add(Key128::from_pair(ipv4(static_cast<std::uint8_t>(i), 50, 1, 1),
+                                ipv4(99, 99, 99, 99)));
+  }
+  const HhhSet set = truth.compute(0.4);
+  // Expected: (10.1.*, *) from the first pattern and (*, 99.99.99.99).
+  bool src_agg = false;
+  bool dst_item = false;
+  for (const HhhCandidate& c : set) {
+    const std::string s = h.format(c.prefix);
+    if (s == "(10.1.*.*, *)") src_agg = true;
+    if (s == "(*, 99.99.99.99)") dst_item = true;
+  }
+  EXPECT_TRUE(src_agg);
+  EXPECT_TRUE(dst_item);
+}
+
+TEST(GroundTruth, FrequenciesBatch) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  truth.add(Key128::from_u32(ipv4(1, 2, 3, 4)), 7);
+  truth.add(Key128::from_u32(ipv4(1, 2, 9, 9)), 5);
+  truth.add(Key128::from_u32(ipv4(1, 3, 0, 0)), 2);
+  const std::vector<Prefix> qs = {
+      {h.node_index(0), Key128::from_u32(ipv4(1, 2, 3, 4))},
+      {h.node_index(2), h.mask_key(h.node_index(2), Key128::from_u32(ipv4(1, 2, 0, 0)))},
+      {h.node_index(3), h.mask_key(h.node_index(3), Key128::from_u32(ipv4(1, 0, 0, 0)))},
+      {h.node_index(4), Key128{}},
+      {h.node_index(0), Key128::from_u32(ipv4(66, 66, 66, 66))},  // absent
+  };
+  const auto f = truth.frequencies(qs);
+  EXPECT_EQ(f[0], 7u);
+  EXPECT_EQ(f[1], 12u);
+  EXPECT_EQ(f[2], 14u);
+  EXPECT_EQ(f[3], 14u);
+  EXPECT_EQ(f[4], 0u);
+}
+
+TEST(GroundTruth, ConditionedMatchesDefinitionSix) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  // 101.102.* has 102, 101.103.* has 6 (the Section 3.1 example).
+  for (int i = 0; i < 102; ++i) {
+    truth.add(Key128::from_u32(ipv4(101, 102, static_cast<std::uint8_t>(i), 1)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    truth.add(Key128::from_u32(ipv4(101, 103, static_cast<std::uint8_t>(i), 1)));
+  }
+  HhhSet P(h.size());
+  const Prefix p2{h.node_index(2),
+                  h.mask_key(h.node_index(2), Key128::from_u32(ipv4(101, 102, 0, 0)))};
+  P.add(HhhCandidate{p2, 102, 102, 102, 102});
+  const Prefix p1{h.node_index(3),
+                  h.mask_key(h.node_index(3), Key128::from_u32(ipv4(101, 0, 0, 0)))};
+  const auto c = truth.conditioned(std::vector<Prefix>{p1}, P);
+  EXPECT_EQ(c[0], 6u);  // 108 - 102: the paper's worked numbers
+  const auto c_empty = truth.conditioned(std::vector<Prefix>{p1}, HhhSet(h.size()));
+  EXPECT_EQ(c_empty[0], 108u);
+}
+
+TEST(GroundTruth, HeavyPrefixesFindsAllLevels) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  truth.add(Key128::from_u32(ipv4(7, 7, 7, 7)), 100);
+  const auto heavy = truth.heavy_prefixes(0.5);
+  // 7.7.7.7 and each of its 4 ancestors (incl. *) all have f = 100.
+  EXPECT_EQ(heavy.size(), 5u);
+}
+
+TEST(GroundTruth, ClearResets) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  truth.add(Key128::from_u32(1), 50);
+  truth.clear();
+  EXPECT_EQ(truth.stream_length(), 0u);
+  EXPECT_TRUE(truth.compute(0.1).empty());
+}
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Metrics, AccuracyCountsLargeErrors) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  const Key128 k = Key128::from_u32(ipv4(5, 5, 5, 5));
+  truth.add(k, 1000);
+  HhhSet P(h.size());
+  // Estimate off by 5 (within eps*N = 10) and another off by 500 (outside).
+  P.add(HhhCandidate{{h.node_index(0), k}, 1005, 1000, 1005, 1005});
+  P.add(HhhCandidate{{h.node_index(2), h.mask_key(h.node_index(2), k)}, 1500, 900,
+                     1500, 1500});
+  const AccuracyReport rep = accuracy_errors(truth, P, 0.01);
+  EXPECT_EQ(rep.candidates, 2u);
+  EXPECT_EQ(rep.errors, 1u);
+  EXPECT_DOUBLE_EQ(rep.ratio(), 0.5);
+}
+
+TEST(Metrics, CoverageDetectsMissedAggregate) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  ExactHhh truth(h);
+  for (int i = 0; i < 100; ++i) {
+    truth.add(Key128::from_u32(ipv4(42, 42, static_cast<std::uint8_t>(i), 1)));
+  }
+  // Empty returned set: the /16 aggregate (and its ancestors) are missed.
+  const CoverageReport miss = coverage_errors(truth, HhhSet(h.size()), 0.5);
+  EXPECT_GT(miss.candidates, 0u);
+  EXPECT_EQ(miss.misses, miss.candidates);
+  // Returning the /16 fixes coverage: remaining heavy ancestors have
+  // conditioned frequency 0.
+  HhhSet P(h.size());
+  P.add(HhhCandidate{{h.node_index(2), h.mask_key(h.node_index(2),
+                                                  Key128::from_u32(ipv4(42, 42, 0, 0)))},
+                     100, 100, 100, 100});
+  const CoverageReport ok = coverage_errors(truth, P, 0.5);
+  EXPECT_EQ(ok.misses, 0u);
+}
+
+TEST(Metrics, FalsePositiveRatioAndRecall) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  HhhSet exact(h.size());
+  const Key128 a = Key128::from_u32(1);
+  const Key128 b = Key128::from_u32(2);
+  exact.add(HhhCandidate{{h.node_index(0), a}, 1, 1, 1, 1});
+  exact.add(HhhCandidate{{h.node_index(0), b}, 1, 1, 1, 1});
+  HhhSet returned(h.size());
+  returned.add(HhhCandidate{{h.node_index(0), a}, 1, 1, 1, 1});
+  returned.add(HhhCandidate{{h.node_index(0), Key128::from_u32(3)}, 1, 1, 1, 1});
+  const FalsePositiveReport rep = false_positives(exact, returned);
+  EXPECT_EQ(rep.returned, 2u);
+  EXPECT_EQ(rep.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(rep.ratio(), 0.5);
+  EXPECT_EQ(rep.exact_size, 2u);
+  EXPECT_EQ(rep.exact_found, 1u);
+  EXPECT_DOUBLE_EQ(rep.recall(), 0.5);
+}
+
+// --------------------------------------------- end-to-end guarantees ----
+
+/// MST (deterministic) must show zero accuracy and coverage errors at any
+/// stream length when its counters are exact for the workload.
+TEST(EndToEnd, MstDeterministicGuarantees) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.002;
+  RhhhSpaceSaving mst(h, LatticeMode::kMst, lp);
+  ExactHhh truth(h);
+  TraceGenerator gen(trace_preset("chicago15"));
+  for (int i = 0; i < 60000; ++i) {
+    const Key128 k = h.key_of(gen.next());
+    mst.update(k);
+    truth.add(k);
+  }
+  const double theta = 0.03;
+  const HhhSet out = mst.output(theta);
+  EXPECT_EQ(coverage_errors(truth, out, theta).misses, 0u);
+  EXPECT_EQ(accuracy_errors(truth, out, lp.eps).errors, 0u);
+}
+
+/// RHHH past its convergence bound: accuracy and coverage error ratios must
+/// be small (the Figure 2/3 behaviour), false positives bounded.
+TEST(EndToEnd, RhhhGuaranteesPastPsi) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);  // V = 5: small psi
+  LatticeParams lp;
+  lp.eps = 0.05;
+  lp.delta = 0.1;
+  lp.seed = 2024;
+  RhhhSpaceSaving alg(h, LatticeMode::kRhhh, lp);
+  ExactHhh truth(h);
+  TraceGenerator gen(trace_preset("sanjose13"));
+  const auto n = static_cast<std::uint64_t>(alg.psi() * 1.5);
+  ASSERT_LT(n, 200000u) << "test configuration should keep psi small";
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Key128 k = h.key_of(gen.next());
+    alg.update(k);
+    truth.add(k);
+  }
+  EXPECT_TRUE(static_cast<double>(alg.stream_length()) > alg.psi());
+  const double theta = 0.1;
+  const HhhSet out = alg.output(theta);
+  const CoverageReport cov = coverage_errors(truth, out, theta);
+  EXPECT_EQ(cov.misses, 0u) << "coverage should hold with margin past psi";
+  const AccuracyReport acc = accuracy_errors(truth, out, lp.eps);
+  EXPECT_LE(acc.ratio(), 0.2);
+}
+
+}  // namespace
+}  // namespace rhhh

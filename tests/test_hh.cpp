@@ -1,0 +1,394 @@
+// Tests for the heavy-hitter backends. Space-Saving gets the deepest
+// treatment (it is the paper's building block): exactness below capacity,
+// the classic error bounds, heavy-hitter recall, weighted updates, and
+// randomized differential tests against an exact oracle across stream
+// shapes. Misra-Gries, Lossy Counting and Count-Min are validated against
+// their respective guarantees.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hh/count_min.hpp"
+#include "hh/lossy_counting.hpp"
+#include "hh/misra_gries.hpp"
+#include "hh/space_saving.hpp"
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+namespace {
+
+using K64 = std::uint64_t;
+
+// ------------------------------------------------------- space saving ----
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving<K64>(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving<K64> ss(10);
+  for (K64 k = 0; k < 8; ++k) {
+    for (K64 i = 0; i <= k; ++i) ss.increment(k);
+  }
+  EXPECT_EQ(ss.size(), 8u);
+  EXPECT_EQ(ss.total(), 36u);
+  for (K64 k = 0; k < 8; ++k) {
+    EXPECT_EQ(ss.upper(k), k + 1);
+    EXPECT_EQ(ss.lower(k), k + 1);
+  }
+  EXPECT_EQ(ss.upper(99), 0u);  // not full: untracked keys are exact zeros
+  EXPECT_EQ(ss.min_bound(), 0u);
+}
+
+TEST(SpaceSaving, EvictionInheritsMinAsError) {
+  SpaceSaving<K64> ss(2);
+  ss.increment(1);
+  ss.increment(1);
+  ss.increment(2);
+  // Full: {1:2, 2:1}. New key 3 evicts the min (2, count 1).
+  ss.increment(3);
+  EXPECT_FALSE(ss.tracked(2));
+  EXPECT_TRUE(ss.tracked(3));
+  EXPECT_EQ(ss.upper(3), 2u);  // min(1) + 1
+  EXPECT_EQ(ss.lower(3), 1u);  // count - error = 2 - 1
+  EXPECT_EQ(ss.upper(2), ss.min_bound());
+}
+
+TEST(SpaceSaving, SumOfCountsEqualsTotal) {
+  SpaceSaving<K64> ss(16);
+  Xoroshiro128 rng(3);
+  for (int i = 0; i < 10000; ++i) ss.increment(rng.bounded(100));
+  // Stream-summary invariant: counts (with replacement inheritance) sum to N.
+  std::uint64_t sum = 0;
+  ss.for_each([&](const K64&, std::uint64_t up, std::uint64_t) { sum += up; });
+  EXPECT_EQ(sum, ss.total());
+  EXPECT_EQ(ss.total(), 10000u);
+}
+
+TEST(SpaceSaving, MinBoundIsMinimumCount) {
+  SpaceSaving<K64> ss(8);
+  Xoroshiro128 rng(4);
+  for (int i = 0; i < 5000; ++i) ss.increment(rng.bounded(50));
+  std::uint64_t min_count = UINT64_MAX;
+  ss.for_each([&](const K64&, std::uint64_t up, std::uint64_t) {
+    min_count = std::min(min_count, up);
+  });
+  EXPECT_EQ(ss.min_bound(), min_count);
+}
+
+TEST(SpaceSaving, WeightedUpdates) {
+  SpaceSaving<K64> ss(4);
+  ss.increment(1, 100);
+  ss.increment(2, 50);
+  ss.increment(1, 7);
+  EXPECT_EQ(ss.upper(1), 107u);
+  EXPECT_EQ(ss.lower(1), 107u);
+  EXPECT_EQ(ss.total(), 157u);
+  // Weighted eviction: fill, then a big newcomer.
+  ss.increment(3, 1);
+  ss.increment(4, 1);
+  ss.increment(5, 1000);  // evicts a min=1 counter
+  EXPECT_TRUE(ss.tracked(5));
+  EXPECT_EQ(ss.upper(5), 1001u);
+  EXPECT_EQ(ss.lower(5), 1000u);
+}
+
+TEST(SpaceSaving, ZeroWeightIsNoop) {
+  SpaceSaving<K64> ss(4);
+  ss.increment(1, 0);
+  EXPECT_EQ(ss.total(), 0u);
+  EXPECT_EQ(ss.size(), 0u);
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving<K64> ss(4);
+  for (int i = 0; i < 100; ++i) ss.increment(i % 10);
+  ss.clear();
+  EXPECT_EQ(ss.total(), 0u);
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.min_bound(), 0u);
+  ss.increment(42);
+  EXPECT_EQ(ss.upper(42), 1u);
+}
+
+TEST(SpaceSaving, HeavyHittersFilter) {
+  SpaceSaving<K64> ss(8);
+  for (int i = 0; i < 900; ++i) ss.increment(1);
+  for (int i = 0; i < 80; ++i) ss.increment(2);
+  for (int i = 0; i < 20; ++i) ss.increment(K64(3) + (i % 4));
+  const auto hh = ss.heavy_hitters(100);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0].key, 1u);
+  EXPECT_GE(hh[0].upper, 900u);
+}
+
+TEST(SpaceSaving, EntriesMatchForEach) {
+  SpaceSaving<K64> ss(8);
+  for (int i = 0; i < 500; ++i) ss.increment(i % 20);
+  const auto es = ss.entries();
+  EXPECT_EQ(es.size(), ss.size());
+  for (const auto& e : es) {
+    EXPECT_EQ(ss.upper(e.key), e.upper);
+    EXPECT_EQ(ss.lower(e.key), e.lower);
+    EXPECT_GE(e.upper, e.lower);
+  }
+}
+
+TEST(SpaceSaving, Key128Instantiation) {
+  SpaceSaving<Key128> ss(4);
+  const Key128 a{1, 2};
+  const Key128 b{3, 4};
+  ss.increment(a, 5);
+  ss.increment(b);
+  EXPECT_EQ(ss.upper(a), 5u);
+  EXPECT_EQ(ss.upper(b), 1u);
+}
+
+struct StreamShape {
+  std::string name;
+  std::uint64_t domain;
+  double zipf_s;  // 0 = uniform
+};
+
+class SpaceSavingOracle
+    : public ::testing::TestWithParam<std::tuple<StreamShape, std::size_t>> {};
+
+/// Differential property test: for every key (tracked or not),
+/// lower <= f <= upper and upper - f <= N/m; every key with f > N/m tracked.
+TEST_P(SpaceSavingOracle, BoundsHoldOnRandomStreams) {
+  const auto& [shape, capacity] = GetParam();
+  SpaceSaving<K64> ss(capacity);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(0xabc + capacity);
+  const int kN = 30000;
+  ZipfDistribution zipf(shape.domain, shape.zipf_s > 0 ? shape.zipf_s : 1.0);
+  for (int i = 0; i < kN; ++i) {
+    const K64 k = shape.zipf_s > 0
+                      ? zipf(rng)
+                      : rng.bounded(static_cast<std::uint32_t>(shape.domain));
+    ss.increment(k);
+    ++oracle[k];
+  }
+  const std::uint64_t err_bound = ss.total() / capacity;
+  for (const auto& [k, f] : oracle) {
+    EXPECT_LE(ss.lower(k), f) << shape.name << " key " << k;
+    EXPECT_GE(ss.upper(k), f) << shape.name << " key " << k;
+    EXPECT_LE(ss.upper(k) - f, err_bound) << shape.name << " key " << k;
+    if (f > err_bound) {
+      EXPECT_TRUE(ss.tracked(k)) << shape.name << " heavy key " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpaceSavingOracle,
+    ::testing::Combine(
+        ::testing::Values(StreamShape{"zipf1.2-small", 200, 1.2},
+                          StreamShape{"zipf0.8-large", 5000, 0.8},
+                          StreamShape{"uniform-small", 64, 0.0},
+                          StreamShape{"uniform-large", 4000, 0.0},
+                          StreamShape{"zipf1.5-huge", 100000, 1.5}),
+        ::testing::Values(std::size_t{4}, std::size_t{32}, std::size_t{256})),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param).name + "_cap" +
+                      std::to_string(std::get<1>(info.param));
+      for (char& c : n) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return n;
+    });
+
+/// The same differential check with weighted updates.
+TEST(SpaceSaving, WeightedOracle) {
+  SpaceSaving<K64> ss(32);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const K64 k = rng.bounded(300);
+    const std::uint64_t w = 1 + rng.bounded(20);
+    ss.increment(k, w);
+    oracle[k] += w;
+  }
+  // Weighted error bound: at most total/capacity + max single weight slack;
+  // the classic analysis gives error <= min-count <= N/m.
+  const std::uint64_t err_bound = ss.total() / 32;
+  for (const auto& [k, f] : oracle) {
+    EXPECT_LE(ss.lower(k), f);
+    EXPECT_GE(ss.upper(k), f);
+    EXPECT_LE(ss.upper(k) - f, err_bound);
+  }
+}
+
+// -------------------------------------------------------- misra-gries ----
+
+TEST(MisraGriesTest, ExactBelowCapacity) {
+  MisraGries<K64> mg(8);
+  for (int i = 0; i < 5; ++i) mg.increment(7);
+  mg.increment(9);
+  EXPECT_EQ(mg.lower(7), 5u);
+  EXPECT_EQ(mg.upper(7), 5u);
+  EXPECT_EQ(mg.lower(9), 1u);
+  EXPECT_EQ(mg.decrements(), 0u);
+}
+
+TEST(MisraGriesTest, DecrementBoundHolds) {
+  const std::size_t k = 16;
+  MisraGries<K64> mg(k);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const K64 key = rng.bounded(400);
+    mg.increment(key);
+    ++oracle[key];
+  }
+  EXPECT_LE(mg.decrements(), mg.total() / (k + 1));
+  for (const auto& [key, f] : oracle) {
+    EXPECT_LE(mg.lower(key), f);
+    EXPECT_GE(mg.upper(key), f);
+  }
+}
+
+TEST(MisraGriesTest, TracksHeavyKey) {
+  MisraGries<K64> mg(4);
+  Xoroshiro128 rng(10);
+  for (int i = 0; i < 9000; ++i) {
+    mg.increment(i % 3 == 0 ? 1000 : rng.bounded(500));
+  }
+  EXPECT_TRUE(mg.lower(1000) > 0) << "a 1/3-frequency key must survive";
+}
+
+// ------------------------------------------------------ lossy counting ----
+
+TEST(LossyCountingTest, RejectsBadEps) {
+  EXPECT_THROW(LossyCounting<K64>(0.0), std::invalid_argument);
+  EXPECT_THROW(LossyCounting<K64>(1.5), std::invalid_argument);
+}
+
+TEST(LossyCountingTest, GuaranteesHold) {
+  const double eps = 0.01;
+  LossyCounting<K64> lc(eps);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(12);
+  ZipfDistribution zipf(1000, 1.1);
+  for (int i = 0; i < 50000; ++i) {
+    const K64 k = zipf(rng);
+    lc.increment(k);
+    ++oracle[k];
+  }
+  const double n = static_cast<double>(lc.total());
+  for (const auto& [k, f] : oracle) {
+    EXPECT_LE(lc.lower(k), f);
+    EXPECT_GE(lc.upper(k) + 1, f);  // +1 absorbs the epoch-boundary rounding
+    if (static_cast<double>(f) > eps * n) {
+      EXPECT_GT(lc.lower(k), 0u) << "key with f > eps*N must be tracked: " << k;
+    }
+  }
+  // Space bound sanity: Lossy Counting keeps O(1/eps log(eps N)) entries.
+  EXPECT_LT(lc.size(), 4000u);
+}
+
+TEST(LossyCountingTest, PrunesInfrequentKeys) {
+  LossyCounting<K64> lc(0.1);  // window 10
+  for (K64 k = 0; k < 1000; ++k) lc.increment(k);  // all singletons
+  EXPECT_LT(lc.size(), 30u);
+}
+
+// ----------------------------------------------------------- count-min ----
+
+TEST(CountMinTest, RejectsBadParams) {
+  EXPECT_THROW(CountMinHh<K64>(0.0, 0.1, 8, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinHh<K64>(0.1, 0.0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinHh<K64>(0.1, 0.1, 0, 1), std::invalid_argument);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinHh<K64> cm(0.005, 0.01, 64, 42);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(13);
+  for (int i = 0; i < 30000; ++i) {
+    const K64 k = rng.bounded(2000);
+    cm.increment(k);
+    ++oracle[k];
+  }
+  for (const auto& [k, f] : oracle) {
+    EXPECT_GE(cm.upper(k), f);  // deterministic property of CMS
+  }
+}
+
+TEST(CountMinTest, OverestimateWithinBoundMostly) {
+  const double eps = 0.005;
+  CountMinHh<K64> cm(eps, 0.01, 64, 43);
+  std::map<K64, std::uint64_t> oracle;
+  Xoroshiro128 rng(14);
+  for (int i = 0; i < 30000; ++i) {
+    const K64 k = rng.bounded(2000);
+    cm.increment(k);
+    ++oracle[k];
+  }
+  const double slack = eps * static_cast<double>(cm.total());
+  std::size_t violations = 0;
+  for (const auto& [k, f] : oracle) {
+    if (static_cast<double>(cm.upper(k) - f) > slack) ++violations;
+  }
+  // delta = 1% per key; allow generous slack on 2000 keys.
+  EXPECT_LE(violations, 60u);
+}
+
+TEST(CountMinTest, TracksTopKeys) {
+  CountMinHh<K64> cm(0.01, 0.01, 16, 44);
+  Xoroshiro128 rng(15);
+  ZipfDistribution zipf(10000, 1.3);
+  for (int i = 0; i < 40000; ++i) cm.increment(zipf(rng));
+  bool found_rank1 = false;
+  cm.for_each([&](const K64& k, std::uint64_t, std::uint64_t) {
+    if (k == 1) found_rank1 = true;
+  });
+  EXPECT_TRUE(found_rank1);
+  EXPECT_LE(cm.size(), 32u);
+}
+
+TEST(CountMinTest, DimensionsMatchFormulas) {
+  CountMinHh<K64> cm(0.001, 0.01, 8, 1);
+  EXPECT_GE(cm.width(), 2718u);
+  EXPECT_EQ(cm.depth(), 5u);  // ceil(ln(100)) = 5
+}
+
+// ----------------------------------------------- uniform make() factory ----
+
+template <class B>
+class BackendFactory : public ::testing::Test {};
+
+using BackendTypes = ::testing::Types<SpaceSaving<Key128>, MisraGries<Key128>,
+                                      LossyCounting<Key128>, CountMinHh<Key128>>;
+TYPED_TEST_SUITE(BackendFactory, BackendTypes);
+
+TYPED_TEST(BackendFactory, MakeAndBasicContract) {
+  BackendConfig cfg;
+  cfg.capacity = 64;
+  cfg.eps_a = 1.0 / 64;
+  cfg.delta_a = 0.05;
+  cfg.seed = 7;
+  TypeParam b = TypeParam::make(cfg);
+  const Key128 hot{0, 42};
+  for (int i = 0; i < 1000; ++i) {
+    b.increment(hot);
+    b.increment(Key128{0, 1000 + static_cast<std::uint64_t>(i) % 8});
+  }
+  EXPECT_EQ(b.total(), 2000u);
+  EXPECT_GE(b.upper(hot), 1000u);
+  EXPECT_LE(b.lower(hot), 1000u);
+  bool hot_listed = false;
+  for (const auto& e : b.entries()) {
+    EXPECT_GE(e.upper, e.lower);
+    if (e.key == hot) hot_listed = true;
+  }
+  EXPECT_TRUE(hot_listed);
+  b.clear();
+  EXPECT_EQ(b.total(), 0u);
+}
+
+}  // namespace
+}  // namespace rhhh

@@ -1,0 +1,268 @@
+// Tests for the prefix lattice: sizes (H values the paper quotes), masks,
+// levels, the generalization partial order (with algebraic property checks),
+// glb (Definition 12), canonical parent chains and prefix formatting
+// (Table 1's lattice is exercised directly).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hierarchy/hierarchy.hpp"
+#include "net/ipv4.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+namespace {
+
+TEST(HierarchyShape, PaperSizes) {
+  EXPECT_EQ(Hierarchy::ipv4_1d(Granularity::kByte).size(), 5u);    // H = 5
+  EXPECT_EQ(Hierarchy::ipv4_1d(Granularity::kBit).size(), 33u);    // H = 33
+  EXPECT_EQ(Hierarchy::ipv4_2d(Granularity::kByte).size(), 25u);   // H = 25
+  EXPECT_EQ(Hierarchy::ipv6_1d(Granularity::kByte).size(), 17u);
+  EXPECT_EQ(Hierarchy::ipv6_1d(Granularity::kNibble).size(), 33u);
+  EXPECT_EQ(Hierarchy::ipv4_2d(Granularity::kNibble).size(), 81u);
+}
+
+TEST(HierarchyShape, DepthAndLevels) {
+  const Hierarchy h1 = Hierarchy::ipv4_1d(Granularity::kByte);
+  EXPECT_EQ(h1.depth(), 4);
+  EXPECT_EQ(h1.num_levels(), 5);
+  const Hierarchy h2 = Hierarchy::ipv4_2d(Granularity::kByte);
+  EXPECT_EQ(h2.depth(), 8);
+  // Level sizes of the 5x5 lattice: 1,2,3,4,5,4,3,2,1.
+  const int expected[] = {1, 2, 3, 4, 5, 4, 3, 2, 1};
+  std::size_t total = 0;
+  for (int l = 0; l <= h2.depth(); ++l) {
+    EXPECT_EQ(h2.nodes_at_level(l).size(), static_cast<std::size_t>(expected[l])) << l;
+    total += h2.nodes_at_level(l).size();
+  }
+  EXPECT_EQ(total, h2.size());
+}
+
+TEST(HierarchyShape, BottomAndTop) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  EXPECT_EQ(h.node(h.bottom()).level, 0);
+  EXPECT_EQ(h.node(h.top()).level, h.depth());
+  EXPECT_EQ(h.node(h.bottom()).mask, (Key128{0, ~0ull}));
+  EXPECT_EQ(h.node(h.top()).mask, (Key128{}));
+}
+
+TEST(HierarchyShape, MasksOneDimBytes) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  EXPECT_EQ(h.node(h.node_index(0)).mask.lo, 0xffffffffull);
+  EXPECT_EQ(h.node(h.node_index(1)).mask.lo, 0xffffff00ull);
+  EXPECT_EQ(h.node(h.node_index(2)).mask.lo, 0xffff0000ull);
+  EXPECT_EQ(h.node(h.node_index(3)).mask.lo, 0xff000000ull);
+  EXPECT_EQ(h.node(h.node_index(4)).mask.lo, 0u);
+}
+
+TEST(HierarchyShape, MasksTwoDimCombineSrcDst) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  // (src /16, dst /24): src bits live in [32,64), dst in [0,32).
+  const auto n = h.node_index(2, 1);
+  EXPECT_EQ(h.node(n).mask.lo, 0xffff0000ffffff00ull);
+  EXPECT_EQ(h.node(n).len[0], 16);
+  EXPECT_EQ(h.node(n).len[1], 24);
+}
+
+TEST(HierarchyShape, Ipv6Masks) {
+  const Hierarchy h = Hierarchy::ipv6_1d(Granularity::kByte);
+  EXPECT_EQ(h.node(h.node_index(0)).mask, (Key128{~0ull, ~0ull}));
+  EXPECT_EQ(h.node(h.node_index(8)).mask, (Key128{~0ull, 0}));
+  EXPECT_EQ(h.node(h.node_index(12)).mask, (Key128{0xffffffff00000000ull, 0}));
+  EXPECT_EQ(h.node(h.node_index(16)).mask, (Key128{}));
+}
+
+TEST(HierarchyValidation, RejectsBadSpecs) {
+  DimensionSpec d;
+  d.offset_bits = 0;
+  d.width_bits = 32;
+  d.lengths = {32, 16};  // does not end at 0
+  EXPECT_THROW(Hierarchy({d}, "bad"), std::invalid_argument);
+  d.lengths = {16, 8, 0};  // does not start at width
+  EXPECT_THROW(Hierarchy({d}, "bad"), std::invalid_argument);
+  d.lengths = {32, 16, 16, 0};  // not strictly descending
+  EXPECT_THROW(Hierarchy({d}, "bad"), std::invalid_argument);
+  EXPECT_THROW(Hierarchy({}, "empty"), std::invalid_argument);
+  // Overlapping dimensions.
+  DimensionSpec a;
+  a.offset_bits = 0;
+  a.width_bits = 32;
+  a.lengths = {32, 0};
+  DimensionSpec b = a;
+  b.offset_bits = 16;
+  EXPECT_THROW(Hierarchy({a, b}, "overlap"), std::invalid_argument);
+}
+
+// ------------------------------------------------- generalization order ----
+
+TEST(Generalization, NodeOrder2D) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const auto n00 = h.node_index(0, 0);
+  const auto n12 = h.node_index(1, 2);
+  const auto n21 = h.node_index(2, 1);
+  const auto n22 = h.node_index(2, 2);
+  EXPECT_TRUE(h.node_generalizes(n22, n12));
+  EXPECT_TRUE(h.node_generalizes(n22, n21));
+  EXPECT_TRUE(h.node_generalizes(n12, n00));
+  EXPECT_FALSE(h.node_generalizes(n12, n21));  // incomparable
+  EXPECT_FALSE(h.node_generalizes(n21, n12));
+  EXPECT_TRUE(h.node_generalizes(n12, n12));  // reflexive
+}
+
+TEST(Generalization, PrefixGeneralizesRequiresKeyMatch) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  const Key128 ip = Key128::from_u32(ipv4(181, 7, 20, 6));
+  const Prefix full{h.node_index(0), ip};
+  const Prefix slash16{h.node_index(2), h.mask_key(h.node_index(2), ip)};
+  const Prefix other16{h.node_index(2),
+                       Key128::from_u32(ipv4(10, 0, 0, 0))};
+  EXPECT_TRUE(h.generalizes(slash16, full));
+  EXPECT_FALSE(h.generalizes(other16, full));
+  EXPECT_FALSE(h.generalizes(full, slash16));
+  EXPECT_TRUE(h.strictly_generalizes(slash16, full));
+  EXPECT_FALSE(h.strictly_generalizes(slash16, slash16));
+}
+
+/// Property sweep: reflexivity, antisymmetry and transitivity of the prefix
+/// order over random prefixes of the 2D lattice.
+TEST(Generalization, PartialOrderProperties) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  Xoroshiro128 rng(17);
+  std::vector<Prefix> ps;
+  for (int i = 0; i < 60; ++i) {
+    const auto node = rng.bounded(static_cast<std::uint32_t>(h.size()));
+    // Small address pool to force related prefixes.
+    const Key128 key = Key128::from_pair(0x0a000000u | rng.bounded(4),
+                                         0xc0a80000u | rng.bounded(4));
+    ps.push_back(Prefix{node, h.mask_key(node, key)});
+  }
+  for (const auto& a : ps) {
+    EXPECT_TRUE(h.generalizes(a, a));
+    for (const auto& b : ps) {
+      if (h.generalizes(a, b) && h.generalizes(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (const auto& c : ps) {
+        if (h.generalizes(a, b) && h.generalizes(b, c)) {
+          EXPECT_TRUE(h.generalizes(a, c));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ glb ----
+
+TEST(Glb, NodeGlbIsComponentwiseMin) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  EXPECT_EQ(h.glb_node(h.node_index(1, 3), h.node_index(2, 0)), h.node_index(1, 0));
+  EXPECT_EQ(h.glb_node(h.node_index(4, 4), h.node_index(0, 0)), h.node_index(0, 0));
+}
+
+TEST(Glb, CompatiblePrefixesMerge) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const Ipv4 s = ipv4(181, 7, 20, 6);
+  const Ipv4 d = ipv4(208, 67, 222, 222);
+  const Key128 full = Key128::from_pair(s, d);
+  // a = (181.7.*, 208.67.222.222), b = (181.7.20.6, 208.67.*)
+  const Prefix a{h.node_index(2, 0), h.mask_key(h.node_index(2, 0), full)};
+  const Prefix b{h.node_index(0, 2), h.mask_key(h.node_index(0, 2), full)};
+  const auto q = h.glb(a, b);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->node, h.node_index(0, 0));
+  EXPECT_EQ(q->key, full);
+}
+
+TEST(Glb, IncompatiblePrefixesHaveNoGlb) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const Prefix a{h.node_index(0, 2),
+                 h.mask_key(h.node_index(0, 2), Key128::from_pair(ipv4(1, 2, 3, 4), 0))};
+  const Prefix b{h.node_index(2, 0),
+                 h.mask_key(h.node_index(2, 0), Key128::from_pair(ipv4(9, 9, 0, 0), 0))};
+  // Sources disagree on the /16: no common descendant.
+  EXPECT_FALSE(h.glb(a, b).has_value());
+}
+
+/// Property: when glb(a,b) exists it is generalized by both a and b, and it
+/// is the *greatest* such element among sampled common descendants.
+TEST(Glb, GlbIsGreatestLowerBound) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  Xoroshiro128 rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const Key128 key = Key128::from_pair(0x0a000000u | rng.bounded(8),
+                                         0xc0a80000u | rng.bounded(8));
+    const auto na = rng.bounded(static_cast<std::uint32_t>(h.size()));
+    const auto nb = rng.bounded(static_cast<std::uint32_t>(h.size()));
+    const Prefix a{na, h.mask_key(na, key)};
+    const Prefix b{nb, h.mask_key(nb, key)};
+    const auto q = h.glb(a, b);
+    ASSERT_TRUE(q.has_value());  // same underlying key: always compatible
+    EXPECT_TRUE(h.generalizes(a, *q));
+    EXPECT_TRUE(h.generalizes(b, *q));
+    // The fully-specified key is a common descendant; glb must generalize it.
+    EXPECT_TRUE(h.generalizes(*q, Prefix{h.bottom(), key}));
+  }
+}
+
+// ----------------------------------------------------- canonical parent ----
+
+TEST(CanonicalParent, ChainVisitsEveryLevelOnce) {
+  for (const Hierarchy& h : {Hierarchy::ipv4_1d(Granularity::kBit),
+                             Hierarchy::ipv4_2d(Granularity::kByte)}) {
+    std::uint32_t n = h.bottom();
+    std::set<int> levels{h.node(n).level};
+    while (auto p = h.canonical_parent(n)) {
+      EXPECT_EQ(h.node(*p).level, h.node(n).level + 1);
+      EXPECT_TRUE(h.node_generalizes(*p, n));
+      n = *p;
+      levels.insert(h.node(n).level);
+    }
+    EXPECT_EQ(n, h.top());
+    EXPECT_EQ(static_cast<int>(levels.size()), h.num_levels());
+  }
+}
+
+TEST(CanonicalParent, TopHasNoParent) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  EXPECT_FALSE(h.canonical_parent(h.top()).has_value());
+}
+
+// ------------------------------------------------------------ formatting ----
+
+TEST(Formatting, OneDim) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  const Key128 ip = Key128::from_u32(ipv4(181, 7, 20, 6));
+  EXPECT_EQ(h.format({h.node_index(0), ip}), "181.7.20.6");
+  EXPECT_EQ(h.format({h.node_index(2), h.mask_key(h.node_index(2), ip)}), "181.7.*.*");
+  EXPECT_EQ(h.format({h.node_index(4), Key128{}}), "*");
+}
+
+TEST(Formatting, TwoDimMatchesTableOne) {
+  // Table 1's lattice entries, e.g. (s1.s2.*, d1.d2.d3.*).
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const Key128 full = Key128::from_pair(ipv4(181, 7, 20, 6), ipv4(208, 67, 222, 222));
+  const auto n = h.node_index(2, 1);
+  EXPECT_EQ(h.format({n, h.mask_key(n, full)}), "(181.7.*.*, 208.67.222.*)");
+  EXPECT_EQ(h.format({h.top(), Key128{}}), "(*, *)");
+  EXPECT_EQ(h.format({h.bottom(), full}), "(181.7.20.6, 208.67.222.222)");
+}
+
+TEST(Formatting, Ipv6) {
+  const Hierarchy h = Hierarchy::ipv6_1d(Granularity::kByte);
+  const Key128 a{0x20010db800000000ull, 0x1ull};
+  const auto n4 = h.node_index(12);  // keep 4 bytes = /32
+  EXPECT_EQ(h.format({n4, h.mask_key(n4, a)}), "2001:db8::/32");
+}
+
+TEST(KeyOf, MatchesDimensionality) {
+  const Hierarchy h1 = Hierarchy::ipv4_1d(Granularity::kByte);
+  const Hierarchy h2 = Hierarchy::ipv4_2d(Granularity::kByte);
+  PacketRecord p;
+  p.src_ip = ipv4(1, 2, 3, 4);
+  p.dst_ip = ipv4(5, 6, 7, 8);
+  EXPECT_EQ(h1.key_of(p), Key128::from_u32(p.src_ip));
+  EXPECT_EQ(h2.key_of(p), Key128::from_pair(p.src_ip, p.dst_ip));
+}
+
+}  // namespace
+}  // namespace rhhh

@@ -1,0 +1,241 @@
+// Tests for the statistics substrate: normal CDF/quantile against reference
+// values, Student-t critical values against standard tables, Poisson
+// interval calibration by simulation, and the Welford accumulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "stats/normal.hpp"
+#include "stats/poisson.hpp"
+#include "stats/student_t.hpp"
+#include "stats/summary.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+namespace {
+
+// -------------------------------------------------------------- normal ----
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+struct QuantileCase {
+  double p;
+  double z;
+};
+
+class NormalQuantileTable : public ::testing::TestWithParam<QuantileCase> {};
+
+TEST_P(NormalQuantileTable, MatchesReference) {
+  EXPECT_NEAR(normal_quantile(GetParam().p), GetParam().z, 5e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, NormalQuantileTable,
+    ::testing::Values(QuantileCase{0.5, 0.0}, QuantileCase{0.8413447460685429, 1.0},
+                      QuantileCase{0.975, 1.959963984540054},
+                      QuantileCase{0.95, 1.6448536269514722},
+                      QuantileCase{0.99, 2.3263478740408408},
+                      QuantileCase{0.999, 3.090232306167813},
+                      QuantileCase{0.9999, 3.719016485455709},
+                      QuantileCase{0.000125, -3.662259930888},
+                      QuantileCase{0.01, -2.3263478740408408},
+                      QuantileCase{1e-6, -4.753424308822899}));
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(Normal, QuantileEdges) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(Normal, ZValueAliases) {
+  EXPECT_DOUBLE_EQ(z_value(0.975), normal_quantile(0.975));
+}
+
+// ----------------------------------------------------------- student-t ----
+
+TEST(StudentT, IncompleteBetaEdges) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(StudentT, IncompleteBetaSymmetry) {
+  // I_x(a,b) == 1 - I_{1-x}(b,a)
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 1.5, x), 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x),
+                1e-12);
+  }
+}
+
+TEST(StudentT, CdfSymmetric) {
+  for (double df : {1.0, 4.0, 30.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, df), 0.5, 1e-12);
+    EXPECT_NEAR(student_t_cdf(1.7, df) + student_t_cdf(-1.7, df), 1.0, 1e-12);
+  }
+}
+
+struct TCase {
+  double df;
+  double confidence;
+  double t;
+};
+
+class TCriticalTable : public ::testing::TestWithParam<TCase> {};
+
+TEST_P(TCriticalTable, MatchesStandardTable) {
+  EXPECT_NEAR(t_critical(GetParam().df, GetParam().confidence), GetParam().t, 2e-3);
+}
+
+// Classic two-sided critical values. df=4 / 95% is the paper's setting
+// (5 runs).
+INSTANTIATE_TEST_SUITE_P(Table, TCriticalTable,
+                         ::testing::Values(TCase{1, 0.95, 12.706}, TCase{2, 0.95, 4.303},
+                                           TCase{4, 0.95, 2.776}, TCase{9, 0.95, 2.262},
+                                           TCase{4, 0.99, 4.604}, TCase{29, 0.95, 2.045},
+                                           TCase{100, 0.95, 1.984}));
+
+TEST(StudentT, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(t_critical(100000, 0.95), 1.95996, 2e-3);
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (double df : {3.0, 10.0}) {
+    for (double p : {0.05, 0.25, 0.5, 0.9, 0.995}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, df), df), p, 1e-9);
+    }
+  }
+}
+
+// -------------------------------------------------------------- poisson ----
+
+TEST(Poisson, IntervalCenteredOnLambda) {
+  const Interval iv = poisson_interval(100.0, 0.05);
+  EXPECT_LT(iv.lo, 100.0);
+  EXPECT_GT(iv.hi, 100.0);
+  EXPECT_NEAR(iv.hi - 100.0, 100.0 - iv.lo, 1e-9);
+  EXPECT_NEAR(iv.hi - 100.0, 1.959963984540054 * 10.0, 1e-6);
+}
+
+TEST(Poisson, IntervalWidthShrinksWithDelta) {
+  EXPECT_LT(poisson_interval(50, 0.1).width(), poisson_interval(50, 0.01).width());
+}
+
+TEST(Poisson, PmfSumsToOne) {
+  double sum = 0;
+  for (unsigned k = 0; k < 200; ++k) sum += poisson_pmf(k, 20.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Poisson, PmfEdge) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+}
+
+/// Simulation check of Lemma 6.2's interval: the miss rate of the
+/// lambda +- Z*sqrt(lambda) interval must not exceed delta by much.
+TEST(Poisson, IntervalCalibration) {
+  const double lambda = 400.0;
+  const double delta = 0.05;
+  const Interval iv = poisson_interval(lambda, delta);
+  std::mt19937_64 gen(7);
+  std::poisson_distribution<long> pd(lambda);
+  int misses = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!iv.contains(static_cast<double>(pd(gen)))) ++misses;
+  }
+  const double miss_rate = static_cast<double>(misses) / kTrials;
+  EXPECT_LT(miss_rate, delta * 1.5);
+  EXPECT_GT(miss_rate, delta * 0.4);  // not absurdly conservative either
+}
+
+TEST(Poisson, MeanIntervalCoversObservation) {
+  const Interval iv = poisson_mean_interval(25.0, 0.05);
+  EXPECT_TRUE(iv.contains(25.0));
+  EXPECT_GE(iv.lo, 0.0);
+}
+
+// -------------------------------------------------------------- summary ----
+
+TEST(RunningStatsTest, MeanVarianceAgainstClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  const Interval ci = s.mean_ci();
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+}
+
+TEST(RunningStatsTest, CiMatchesManualTInterval) {
+  RunningStats s;
+  const std::vector<double> xs = {10.0, 12.0, 9.0, 11.0, 13.0};
+  for (double x : xs) s.add(x);
+  const Interval ci = s.mean_ci(0.95);
+  // Manual: mean 11, sd sqrt(2.5), sem sqrt(0.5), t_4,0.975 = 2.776.
+  const double half = 2.776 * std::sqrt(0.5);
+  EXPECT_NEAR(ci.lo, 11.0 - half, 5e-3);
+  EXPECT_NEAR(ci.hi, 11.0 + half, 5e-3);
+}
+
+TEST(RunningStatsTest, SpanHelperMatches) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  const Interval a = s.mean_ci(0.95);
+  const Interval b = mean_ci(xs, 0.95);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+/// Property: 95% CI over repeated Gaussian samples covers the true mean
+/// about 95% of the time.
+TEST(RunningStatsTest, CiCalibration) {
+  Xoroshiro128 rng(99);
+  int covered = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    RunningStats s;
+    for (int i = 0; i < 5; ++i) {
+      // Box-Muller from our RNG.
+      const double u1 = rng.uniform01() + 1e-12;
+      const double u2 = rng.uniform01();
+      s.add(std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2));
+    }
+    if (s.mean_ci(0.95).contains(0.0)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(rate, 0.92);
+  EXPECT_LT(rate, 0.98);
+}
+
+}  // namespace
+}  // namespace rhhh

@@ -1,0 +1,260 @@
+// Tests for the mini virtual switch: masks, the exact-match cache, the
+// tuple-space megaflow classifier, the datapath pipeline with measurement
+// hooks, and the distributed (SPSC ring + measurement thread) deployment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+#include "vswitch/datapath.hpp"
+#include "vswitch/distributed.hpp"
+#include "vswitch/emc.hpp"
+#include "vswitch/megaflow.hpp"
+
+namespace rhhh {
+namespace {
+
+FiveTuple tuple(Ipv4 src, Ipv4 dst, std::uint16_t sp = 1000, std::uint16_t dp = 80,
+                std::uint8_t proto = 6) {
+  return FiveTuple{src, dst, sp, dp, proto};
+}
+
+// ---------------------------------------------------------------- masks ----
+
+TEST(FlowMaskTest, ExactKeepsEverything) {
+  const FiveTuple t = tuple(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1234, 443, 17);
+  EXPECT_EQ(FlowMask::exact().apply(t), t);
+}
+
+TEST(FlowMaskTest, PrefixesWildcardPortsAndProto) {
+  const FiveTuple t = tuple(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8), 1234, 443, 17);
+  const FiveTuple m = FlowMask::prefixes(16, 24).apply(t);
+  EXPECT_EQ(m.src_ip, ipv4(1, 2, 0, 0));
+  EXPECT_EQ(m.dst_ip, ipv4(5, 6, 7, 0));
+  EXPECT_EQ(m.src_port, 0);
+  EXPECT_EQ(m.dst_port, 0);
+  EXPECT_EQ(m.proto, 0);
+}
+
+// ------------------------------------------------------------------ emc ----
+
+TEST(EmcTest, MissThenHit) {
+  ExactMatchCache emc(64);
+  const FiveTuple t = tuple(1, 2);
+  EXPECT_EQ(emc.lookup(t), nullptr);
+  emc.insert(t, Action::output(3));
+  const Action* a = emc.lookup(t);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, Action::output(3));
+  EXPECT_EQ(emc.hits(), 1u);
+  EXPECT_EQ(emc.misses(), 1u);
+}
+
+TEST(EmcTest, RefreshUpdatesAction) {
+  ExactMatchCache emc(64);
+  const FiveTuple t = tuple(1, 2);
+  emc.insert(t, Action::output(1));
+  emc.insert(t, Action::drop());
+  const Action* a = emc.lookup(t);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->type, ActionType::kDrop);
+}
+
+TEST(EmcTest, EvictionWithinSetKeepsWorking) {
+  ExactMatchCache emc(8);  // 4 sets x 2 ways: tiny, lots of eviction
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    emc.insert(tuple(i, i + 1), Action::output(static_cast<std::uint16_t>(i % 7)));
+  }
+  // The most recently inserted entry must be present.
+  EXPECT_NE(emc.lookup(tuple(999, 1000)), nullptr);
+}
+
+TEST(EmcTest, ClearDropsEntries) {
+  ExactMatchCache emc(64);
+  emc.insert(tuple(1, 2), Action::output(1));
+  emc.clear();
+  EXPECT_EQ(emc.lookup(tuple(1, 2)), nullptr);
+}
+
+// ------------------------------------------------------------- megaflow ----
+
+TEST(MegaflowTest, ExactRuleMatches) {
+  MegaflowTable t;
+  t.add_rule(FlowMask::exact(), tuple(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2)),
+             Action::output(7));
+  const Action* a = t.lookup(tuple(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2)));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->port, 7);
+  EXPECT_EQ(t.lookup(tuple(ipv4(1, 1, 1, 2), ipv4(2, 2, 2, 2))), nullptr);
+}
+
+TEST(MegaflowTest, WildcardRuleMatchesWholeSubnet) {
+  MegaflowTable t;
+  t.add_rule(FlowMask::prefixes(16, 0), tuple(ipv4(10, 1, 0, 0), 0),
+             Action::drop());
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const Action* a = t.lookup(tuple(ipv4(10, 1, i, i), ipv4(99, 9, 9, 9), i, i, i));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->type, ActionType::kDrop);
+  }
+  EXPECT_EQ(t.lookup(tuple(ipv4(10, 2, 0, 0), 5)), nullptr);
+}
+
+TEST(MegaflowTest, FirstSubtableWinsOnOverlap) {
+  MegaflowTable t;
+  t.add_rule(FlowMask::exact(), tuple(ipv4(10, 1, 1, 1), ipv4(2, 2, 2, 2)),
+             Action::output(1));
+  t.add_rule(FlowMask::prefixes(8, 0), tuple(ipv4(10, 0, 0, 0), 0), Action::drop());
+  const Action* a = t.lookup(tuple(ipv4(10, 1, 1, 1), ipv4(2, 2, 2, 2)));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->type, ActionType::kOutput);  // exact rule added first
+}
+
+TEST(MegaflowTest, SharedMaskSharesSubtable) {
+  MegaflowTable t;
+  t.add_rule(FlowMask::prefixes(24, 0), tuple(ipv4(1, 1, 1, 0), 0), Action::output(1));
+  t.add_rule(FlowMask::prefixes(24, 0), tuple(ipv4(2, 2, 2, 0), 0), Action::output(2));
+  EXPECT_EQ(t.subtables(), 1u);
+  EXPECT_EQ(t.rules(), 2u);
+}
+
+// ------------------------------------------------------------- datapath ----
+
+TEST(DatapathTest, DefaultForwardsAndCaches) {
+  Datapath dp;
+  TraceGenerator gen(trace_preset("chicago16"));
+  const auto packets = gen.generate(10000);
+  const std::uint64_t forwarded = dp.run(packets);
+  EXPECT_EQ(forwarded, 10000u);
+  EXPECT_EQ(dp.stats().received, 10000u);
+  // Flow locality: the EMC must absorb most lookups after the first packet
+  // of each flow.
+  EXPECT_GT(dp.stats().emc_hits, 5000u);
+  EXPECT_EQ(dp.stats().emc_hits + dp.stats().megaflow_hits + dp.stats().misses,
+            10000u);
+}
+
+TEST(DatapathTest, RulesApply) {
+  DatapathConfig cfg;
+  cfg.default_action = Action::output(1);
+  Datapath dp(cfg);
+  // Drop everything from 10.0.0.0/8.
+  dp.add_rule(FlowMask::prefixes(8, 0), tuple(ipv4(10, 0, 0, 0), 0), Action::drop());
+  PacketRecord bad;
+  bad.src_ip = ipv4(10, 5, 5, 5);
+  bad.dst_ip = ipv4(1, 1, 1, 1);
+  PacketRecord good = bad;
+  good.src_ip = ipv4(11, 5, 5, 5);
+  EXPECT_EQ(dp.process(bad).type, ActionType::kDrop);
+  EXPECT_EQ(dp.process(good).type, ActionType::kOutput);
+  EXPECT_EQ(dp.stats().dropped, 1u);
+  EXPECT_EQ(dp.stats().forwarded, 1u);
+  // Second packet of the dropped flow hits the EMC, same verdict.
+  EXPECT_EQ(dp.process(bad).type, ActionType::kDrop);
+  EXPECT_GE(dp.stats().emc_hits, 1u);
+}
+
+TEST(DatapathTest, HookSeesEveryPacket) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  auto mst = make_mst(h);
+  HhhHook hook(*mst);
+  Datapath dp;
+  dp.set_hook(&hook);
+  TraceGenerator gen(trace_preset("sanjose13"));
+  const auto packets = gen.generate(5000);
+  dp.run(packets);
+  EXPECT_EQ(mst->stream_length(), 5000u);
+  dp.set_hook(nullptr);
+  dp.process(packets[0]);
+  EXPECT_EQ(mst->stream_length(), 5000u);
+}
+
+TEST(DatapathTest, InlineRhhhFindsHeavyPair) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.05;
+  lp.delta = 0.05;
+  RhhhSpaceSaving alg(h, LatticeMode::kRhhh, lp);
+  HhhHook hook(alg);
+  Datapath dp;
+  dp.set_hook(&hook);
+  TraceGenerator gen(trace_preset("chicago15"));
+  PacketRecord hot;
+  hot.src_ip = ipv4(66, 1, 2, 3);
+  hot.dst_ip = ipv4(77, 4, 5, 6);
+  Xoroshiro128 rng(3);
+  for (int i = 0; i < 300000; ++i) {
+    dp.process(rng.bounded(10) < 4 ? hot : gen.next());
+  }
+  const HhhSet out = alg.output(0.3);
+  bool found = false;
+  for (const HhhCandidate& c : out) {
+    if (c.prefix.key == Key128::from_pair(hot.src_ip, hot.dst_ip)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------- distributed ----
+
+TEST(DistributedTest, EndToEndFindsHeavyPair) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.05;
+  lp.delta = 0.05;
+  lp.V = 50;  // V = 2H: forward ~50% of packets
+  DistributedMeasurement dist(h, lp, 1 << 14);
+  dist.start();
+  Datapath dp;
+  dp.set_hook(&dist);
+  PacketRecord hot;
+  hot.src_ip = ipv4(66, 1, 2, 3);
+  hot.dst_ip = ipv4(77, 4, 5, 6);
+  TraceGenerator gen(trace_preset("chicago16"));
+  Xoroshiro128 rng(4);
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    dp.process(rng.bounded(10) < 4 ? hot : gen.next());
+  }
+  dist.stop();
+  EXPECT_EQ(dist.offered(), static_cast<std::uint64_t>(kN));
+  // ~H/V of packets forwarded, minus any ring drops.
+  EXPECT_NEAR(static_cast<double>(dist.forwarded() + dist.drops()), kN * 0.5,
+              kN * 0.05);
+  EXPECT_EQ(dist.algorithm().stream_length(), static_cast<std::uint64_t>(kN));
+  const HhhSet out = dist.output(0.3);
+  bool found = false;
+  for (const HhhCandidate& c : out) {
+    if (c.prefix.key == Key128::from_pair(hot.src_ip, hot.dst_ip)) found = true;
+  }
+  EXPECT_TRUE(found) << "forwarded=" << dist.forwarded() << " drops="
+                     << dist.drops();
+}
+
+TEST(DistributedTest, StartStopIdempotent) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  DistributedMeasurement dist(h, LatticeParams{});
+  dist.start();
+  dist.start();
+  dist.stop();
+  dist.stop();
+  SUCCEED();
+}
+
+TEST(DistributedTest, CountsRingDropsWhenConsumerStalls) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  DistributedMeasurement dist(h, lp, 16);  // tiny ring, V = H: every packet
+  // Consumer never started: the ring fills and further samples drop.
+  PacketRecord p;
+  p.src_ip = ipv4(1, 2, 3, 4);
+  for (int i = 0; i < 1000; ++i) dist.on_packet(p);
+  EXPECT_GT(dist.drops(), 900u);
+  dist.start();
+  dist.stop();
+  EXPECT_GT(dist.algorithm().updates_performed(), 0u);
+}
+
+}  // namespace
+}  // namespace rhhh

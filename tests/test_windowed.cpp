@@ -1,0 +1,127 @@
+// Tests for the sliding-window (epoch-rotating) monitor: rotation
+// bookkeeping, current/previous separation, and emerging-aggregate
+// detection on a simulated attack ramp.
+#include <gtest/gtest.h>
+
+#include "core/windowed.hpp"
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+namespace {
+
+MonitorConfig small_config() {
+  MonitorConfig cfg;
+  cfg.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  cfg.algorithm = AlgorithmKind::kMst;  // deterministic: crisp assertions
+  cfg.eps = 0.01;
+  cfg.delta = 0.01;
+  return cfg;
+}
+
+TEST(WindowedMonitor, RejectsZeroEpoch) {
+  EXPECT_THROW(WindowedHhhMonitor(small_config(), 0), std::invalid_argument);
+}
+
+TEST(WindowedMonitor, RotatesEveryEpoch) {
+  WindowedHhhMonitor mon(small_config(), 1000);
+  EXPECT_EQ(mon.epochs_completed(), 0u);
+  for (int i = 0; i < 2500; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 2u);
+  EXPECT_EQ(mon.packets_in_epoch(), 500u);
+}
+
+TEST(WindowedMonitor, PreviousEmptyBeforeFirstRotation) {
+  WindowedHhhMonitor mon(small_config(), 10000);
+  for (int i = 0; i < 100; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_TRUE(mon.previous(0.1).empty());
+  EXPECT_FALSE(mon.current(0.5).empty());
+}
+
+TEST(WindowedMonitor, CurrentAndPreviousSeparate) {
+  WindowedHhhMonitor mon(small_config(), 1000);
+  // Epoch 0: traffic to A. Epoch 1: traffic to B.
+  for (int i = 0; i < 1000; ++i) mon.update(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1));
+  for (int i = 0; i < 999; ++i) mon.update(ipv4(20, 0, 0, 2), ipv4(2, 2, 2, 2));
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix a{h.bottom(), Key128::from_pair(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1))};
+  const Prefix b{h.bottom(), Key128::from_pair(ipv4(20, 0, 0, 2), ipv4(2, 2, 2, 2))};
+  EXPECT_TRUE(mon.previous(0.5).contains(a));
+  EXPECT_FALSE(mon.previous(0.5).contains(b));
+  EXPECT_TRUE(mon.current(0.5).contains(b));
+  EXPECT_FALSE(mon.current(0.5).contains(a));
+}
+
+TEST(WindowedMonitor, ConvergedEpochReflectsPsi) {
+  MonitorConfig cfg = small_config();
+  EXPECT_TRUE(WindowedHhhMonitor(cfg, 100).converged_epoch());  // MST: always
+  cfg.algorithm = AlgorithmKind::kRhhh;
+  cfg.eps = 0.1;
+  cfg.delta = 0.1;
+  WindowedHhhMonitor tight(cfg, 1u << 20);
+  EXPECT_TRUE(tight.converged_epoch());
+  WindowedHhhMonitor loose(cfg, 100);
+  EXPECT_FALSE(loose.converged_epoch());
+}
+
+TEST(WindowedMonitor, EmergingDetectsRampingAggregate) {
+  MonitorConfig cfg = small_config();
+  WindowedHhhMonitor mon(cfg, 50000);
+  TraceGenerator background(trace_preset("chicago16"));
+  Xoroshiro128 rng(5);
+  const Ipv4 attack_net = ipv4(66, 66, 0, 0);
+  const Ipv4 victim = ipv4(9, 9, 9, 9);
+
+  auto run_epoch = [&](double attack_share) {
+    for (int i = 0; i < 50000; ++i) {
+      if (rng.uniform01() < attack_share) {
+        mon.update(attack_net | rng.bounded(1 << 16), victim);
+      } else {
+        const PacketRecord p = background.next();
+        mon.update(p.src_ip, p.dst_ip);
+      }
+    }
+  };
+
+  run_epoch(0.0);  // quiet baseline epoch
+  run_epoch(0.0);  // second quiet epoch: "previous" is now a quiet epoch
+  ASSERT_EQ(mon.epochs_completed(), 2u);
+
+  // Attack begins mid-epoch: the live (partial) epoch carries the ramp while
+  // the sealed previous epoch is quiet -- exactly when emerging() must fire.
+  for (int i = 0; i < 25000; ++i) {
+    if (rng.uniform01() < 0.25) {
+      mon.update(attack_net | rng.bounded(1 << 16), victim);
+    } else {
+      const PacketRecord p = background.next();
+      mon.update(p.src_ip, p.dst_ip);
+    }
+  }
+  ASSERT_EQ(mon.epochs_completed(), 2u) << "attack burst must not cross an epoch";
+  const auto emerging = mon.emerging(0.1, 3.0);
+  bool found = false;
+  for (const EmergingPrefix& e : emerging) {
+    const auto& node = mon.hierarchy().node(e.now.prefix.node);
+    if (node.step[0] >= 1 && node.step[1] == 0 && e.share_now > 0.15) found = true;
+  }
+  EXPECT_TRUE(found) << emerging.size() << " emerging prefixes";
+}
+
+TEST(WindowedMonitor, StableTrafficNotEmerging) {
+  // The same heavy aggregate in both epochs must not be reported as
+  // emerging at any meaningful growth factor.
+  WindowedHhhMonitor mon(small_config(), 20000);
+  TraceGenerator gen(trace_preset("sanjose14"));
+  for (int i = 0; i < 50000; ++i) {
+    const PacketRecord p = gen.next();
+    mon.update(p.src_ip, p.dst_ip);
+  }
+  for (const EmergingPrefix& e : mon.emerging(0.05, 2.0)) {
+    // Anything reported must genuinely have doubled (or be brand new).
+    EXPECT_TRUE(e.previous_share == 0.0 || e.growth() >= 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace rhhh
