@@ -1,5 +1,6 @@
 #include "common/bench_common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,15 +31,24 @@ Args Args::parse(int argc, char** argv) {
       a.theta = std::atof(next());
     } else if (flag == "--seed") {
       a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--json") {
+      a.json = next();
     } else if (flag == "--help" || flag == "-h") {
       std::printf(
           "options: --scale F (stream length multiplier, default 1)\n"
-          "         --runs N --eps E --delta D --theta T --seed S\n");
+          "         --runs N --eps E --delta D --theta T --seed S\n"
+          "         --json PATH (also write tables as machine-readable JSON)\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
       std::exit(2);
     }
+  }
+  if (!a.json.empty()) {
+    std::string bench = argv[0];
+    const auto slash = bench.find_last_of('/');
+    if (slash != std::string::npos) bench = bench.substr(slash + 1);
+    json_begin(a.json, bench, a);
   }
   return a;
 }
@@ -55,7 +65,113 @@ std::map<std::string, std::vector<PacketRecord>>& packet_cache() {
   return cache;
 }
 
+// ------------------------------------------------------ JSON mirror ----
+//
+// Benches keep printing their paper-style tables; when --json is given the
+// same figure headers and rows are mirrored here and serialized on exit, so
+// run_all can diff BENCH_<name>.json across PRs without scraping stdout.
+
+struct JsonSection {
+  std::string figure;
+  std::string caption;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonRecorder {
+  bool active = false;
+  bool written = false;
+  std::string path;
+  std::string bench;
+  Args params;
+  std::vector<JsonSection> sections;
+};
+
+JsonRecorder& recorder() {
+  static JsonRecorder r;
+  return r;
+}
+
+// %g prints bare "inf"/"nan", which is not JSON; map non-finite to null.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+void json_begin(const std::string& path, const std::string& bench,
+                const Args& args) {
+  JsonRecorder& r = recorder();
+  r.active = true;
+  r.written = false;
+  r.path = path;
+  r.bench = bench;
+  r.params = args;
+  r.sections.clear();
+  std::atexit(json_flush);
+}
+
+void json_flush() {
+  JsonRecorder& r = recorder();
+  if (!r.active || r.written) return;
+  std::FILE* f = std::fopen(r.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", r.path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"rhhh-bench-table-v1\",\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(r.bench).c_str());
+  std::fprintf(f,
+               "  \"params\": {\"scale\": %s, \"runs\": %d, \"eps\": %s, "
+               "\"delta\": %s, \"theta\": %s, \"seed\": %llu},\n",
+               json_num(r.params.scale).c_str(), r.params.runs,
+               json_num(r.params.eps).c_str(), json_num(r.params.delta).c_str(),
+               json_num(r.params.theta).c_str(),
+               static_cast<unsigned long long>(r.params.seed));
+  std::fprintf(f, "  \"sections\": [");
+  for (std::size_t s = 0; s < r.sections.size(); ++s) {
+    const JsonSection& sec = r.sections[s];
+    std::fprintf(f, "%s\n    {\"figure\": \"%s\", \"caption\": \"%s\", \"rows\": [",
+                 s == 0 ? "" : ",", json_escape(sec.figure).c_str(),
+                 json_escape(sec.caption).c_str());
+    for (std::size_t i = 0; i < sec.rows.size(); ++i) {
+      std::fprintf(f, "%s\n      [", i == 0 ? "" : ",");
+      for (std::size_t j = 0; j < sec.rows[i].size(); ++j) {
+        std::fprintf(f, "%s\"%s\"", j == 0 ? "" : ", ",
+                     json_escape(sec.rows[i][j]).c_str());
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "\n    ]}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  r.written = true;
+}
 
 const std::vector<PacketRecord>& trace_packets(const std::string& preset,
                                                std::size_t n) {
@@ -102,6 +218,7 @@ std::vector<std::unique_ptr<HhhAlgorithm>> paper_roster(const Hierarchy& h,
 
 void print_figure_header(const std::string& figure, const std::string& caption,
                          const Args& args) {
+  if (recorder().active) recorder().sections.push_back({figure, caption, {}});
   std::printf("\n================================================================\n");
   std::printf("%s: %s\n", figure.c_str(), caption.c_str());
   std::printf("params: eps=%g delta=%g theta=%g runs=%d scale=%g\n",
@@ -123,6 +240,11 @@ std::string ci_cell(const RunningStats& stats) {
 }
 
 void print_row(const std::vector<std::string>& cells) {
+  JsonRecorder& r = recorder();
+  if (r.active) {
+    if (r.sections.empty()) r.sections.push_back({"", "", {}});
+    r.sections.back().rows.push_back(cells);
+  }
   std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     char buf[64];
@@ -130,6 +252,12 @@ void print_row(const std::vector<std::string>& cells) {
     line += buf;
   }
   std::printf("%s\n", line.c_str());
+}
+
+std::string xcell(const std::string& suffix) {
+  std::string cell("x");
+  cell += suffix;
+  return cell;
 }
 
 std::string fmt(double v) {

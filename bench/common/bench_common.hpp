@@ -32,9 +32,19 @@ struct Args {
   double delta = 0.001; ///< confidence parameter
   double theta = 0.02;  ///< HHH threshold (paper: 0.01..0.1)
   std::uint64_t seed = 1;
+  std::string json;     ///< if non-empty, mirror printed tables to this file
 
   static Args parse(int argc, char** argv);
 };
+
+/// Starts mirroring every print_figure_header()/print_row() call into an
+/// in-memory document written to `path` as JSON when the process exits (or
+/// when json_flush() is called). Args::parse wires this up for `--json PATH`;
+/// the run_all driver uses it to collect BENCH_<name>.json baselines.
+void json_begin(const std::string& path, const std::string& bench, const Args& args);
+
+/// Writes the mirrored document now (idempotent; also runs atexit).
+void json_flush();
 
 /// Monotonic seconds.
 [[nodiscard]] double now_sec();
@@ -65,5 +75,9 @@ void print_row(const std::vector<std::string>& cells);
 
 /// Formats a double compactly (3 significant digits, engineering-friendly).
 [[nodiscard]] std::string fmt(double v);
+
+/// "x<suffix>" ratio cell, append-built: the natural `"x" + suffix` trips
+/// GCC 12's -Wrestrict false positive (PR105329) at -O3.
+[[nodiscard]] std::string xcell(const std::string& suffix);
 
 }  // namespace rhhh::bench

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
       for (std::size_t a = 0; a < table.size(); ++a) {
         std::vector<std::string> row = {names[a]};
         for (const RunningStats& s : table[a]) row.push_back(ci_cell(s));
-        row.push_back("x" + fmt(table[a].front().mean() / mst_speed));
+        row.push_back(xcell(fmt(table[a].front().mean() / mst_speed)));
         print_row(row);
       }
     }

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       dp.run(packets);
       s.add(static_cast<double>(packets.size()) / (now_sec() - t0) / 1e6);
     }
-    print_row({fmt(double(lp.V)), "x" + std::to_string(mult), ci_cell(s)});
+    print_row({fmt(double(lp.V)), xcell(std::to_string(mult)), ci_cell(s)});
   }
   std::printf("\n(expected shape: monotonically increasing with V, saturating\n"
               " toward the unmodified-switch rate)\n");

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(dist.offered());
       drops = dist.drops();
     }
-    print_row({fmt(double(lp.V)), "x" + std::to_string(mult), ci_cell(s),
+    print_row({fmt(double(lp.V)), xcell(std::to_string(mult)), ci_cell(s),
                fmt(fwd_share), fmt(double(drops))});
   }
   std::printf("\n(expected shape: throughput rises with V as the forwarded share\n"

@@ -1,0 +1,17 @@
+# Warning policy shared by rhhh_core, the tests, benches and examples.
+# Consumed by linking the INTERFACE target `rhhh_warnings` (PRIVATE, so the
+# flags never propagate to downstream users of rhhh_core).
+
+add_library(rhhh_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(rhhh_warnings INTERFACE /W4)
+  if(RHHH_WERROR)
+    target_compile_options(rhhh_warnings INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(rhhh_warnings INTERFACE -Wall -Wextra -Wpedantic)
+  if(RHHH_WERROR)
+    target_compile_options(rhhh_warnings INTERFACE -Werror)
+  endif()
+endif()

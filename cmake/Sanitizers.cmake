@@ -1,0 +1,16 @@
+# ASan + UBSan instrumentation for the whole tree (RHHH_SANITIZE=ON, used by
+# the `asan` preset). Applied globally rather than per-target so that
+# rhhh_core, gtest glue and test binaries all agree on the runtime.
+
+if(RHHH_SANITIZE)
+  if(MSVC)
+    add_compile_options(/fsanitize=address)
+  else()
+    add_compile_options(
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer
+      -g)
+    add_link_options(-fsanitize=address,undefined)
+  endif()
+endif()

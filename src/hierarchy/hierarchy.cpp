@@ -168,7 +168,14 @@ std::string Hierarchy::format(const Prefix& p) const {
     return format_ipv4_prefix(addr, len);
   };
   if (dims_.size() == 1) return one(0);
-  return "(" + one(0) + ", " + one(1) + ")";
+  // Built by append: the operator+ chain trips GCC 12's -Wrestrict false
+  // positive (PR105329) at -O3.
+  std::string out = "(";
+  out += one(0);
+  out += ", ";
+  out += one(1);
+  out += ")";
+  return out;
 }
 
 }  // namespace rhhh
