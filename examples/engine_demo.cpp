@@ -1,0 +1,103 @@
+// Sharded multi-core ingest with HhhEngine: two producer threads fan a
+// planted-attack trace across four worker shards; an epoch snapshot merges
+// the per-shard RHHH lattices into one network-wide view mid-stream and
+// again at the end -- the live-query pattern a collector daemon would run.
+//
+// Run:  ./engine_demo [packets]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "engine/engine.hpp"
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+void print_view(const rhhh::HhhEngine& eng, const rhhh::EngineSnapshot& snap,
+                double theta) {
+  const auto n = static_cast<double>(snap.stream_length());
+  const rhhh::EngineStats& s = snap.stats();
+  std::printf("epoch %llu: N=%.0f offered=%llu consumed=%llu dropped=%llu\n",
+              static_cast<unsigned long long>(snap.epoch()), n,
+              static_cast<unsigned long long>(s.offered),
+              static_cast<unsigned long long>(s.consumed),
+              static_cast<unsigned long long>(s.dropped));
+  for (const rhhh::HhhCandidate& c : snap.output(theta)) {
+    std::printf("  %-36s ~%5.2f%%\n", eng.hierarchy().format(c.prefix).c_str(),
+                100.0 * c.f_est / n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t packets =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+  const double theta = 0.1;
+
+  rhhh::EngineConfig cfg;
+  cfg.monitor.hierarchy = rhhh::HierarchyKind::kIpv4TwoDimBytes;
+  cfg.monitor.algorithm = rhhh::AlgorithmKind::kRhhh;
+  cfg.monitor.eps = 0.01;
+  cfg.monitor.delta = 0.01;
+  cfg.workers = 4;
+  cfg.producers = 2;
+  const std::unique_ptr<rhhh::HhhEngine> eng = rhhh::make_engine(cfg);
+  eng->start();
+  std::printf("engine: %u producers -> %u shards, %s routing, %s overflow\n\n",
+              eng->producers(), eng->workers(), to_string(cfg.policy).data(),
+              to_string(cfg.overflow).data());
+
+  // Two ingest threads: mixed background traffic with a 20% flood toward
+  // one /24 (scattered sources -- only the destination aggregate is heavy).
+  const rhhh::Ipv4 victim = rhhh::ipv4(203, 0, 113, 0);
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      rhhh::HhhEngine::Producer& prod = eng->producer(p);
+      rhhh::TraceGenerator gen(
+          rhhh::trace_preset(p == 0 ? "chicago16" : "sanjose14"));
+      rhhh::Xoroshiro128 rng(1234 + p);
+      for (std::size_t i = 0; i < packets / 2; ++i) {
+        if (rng.bounded(10) < 2) {
+          prod.ingest(rhhh::Key128::from_pair(static_cast<rhhh::Ipv4>(rng()),
+                                              victim | rng.bounded(256)));
+        } else {
+          prod.ingest(eng->hierarchy().key_of(gen.next()));
+        }
+      }
+      prod.flush();
+    });
+  }
+
+  // A mid-stream epoch: quiesce, merge the four shard lattices, resume --
+  // the producers keep running across the snapshot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  print_view(*eng, eng->snapshot(), theta);
+
+  for (std::thread& t : producers) t.join();
+  eng->stop();
+
+  std::printf("\n");
+  const rhhh::EngineSnapshot final_snap = eng->snapshot();
+  print_view(*eng, final_snap, theta);
+
+  const rhhh::EngineStats& s = final_snap.stats();
+  std::printf("\nper-shard consumed:");
+  for (std::uint32_t w = 0; w < eng->workers(); ++w) {
+    std::printf(" [%u]=%llu", w,
+                static_cast<unsigned long long>(s.per_worker_consumed[w]));
+  }
+  std::printf("\nbackpressure waits: %llu\n",
+              static_cast<unsigned long long>(s.backpressure_waits));
+  std::printf(
+      "\nThe victim /24's flood is assembled across both producers and all\n"
+      "four shards; no single shard needs to see the whole stream, and the\n"
+      "epoch merge corrects every estimate for the network-wide N.\n");
+  return 0;
+}

@@ -43,8 +43,16 @@ Hierarchy make_hierarchy(HierarchyKind k) {
   throw std::invalid_argument("make_hierarchy: unknown kind");
 }
 
-std::unique_ptr<HhhAlgorithm> make_algorithm(const Hierarchy& h,
-                                             const MonitorConfig& cfg) {
+std::string_view to_string(OverflowPolicy p) noexcept {
+  switch (p) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kDropTail: return "drop-tail";
+  }
+  return "?";
+}
+
+std::pair<LatticeMode, LatticeParams> lattice_config_of(const Hierarchy& h,
+                                                        const MonitorConfig& cfg) {
   LatticeParams lp;
   lp.eps = cfg.eps;
   lp.delta = cfg.delta;
@@ -53,20 +61,34 @@ std::unique_ptr<HhhAlgorithm> make_algorithm(const Hierarchy& h,
   lp.seed = cfg.seed;
   switch (cfg.algorithm) {
     case AlgorithmKind::kRhhh:
-      return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lp);
+      return {LatticeMode::kRhhh, lp};
     case AlgorithmKind::kTenRhhh:
       if (lp.V == 0) lp.V = 10 * static_cast<std::uint32_t>(h.size());
-      return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lp);
+      return {LatticeMode::kRhhh, lp};
     case AlgorithmKind::kMst:
-      return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kMst, lp);
+      return {LatticeMode::kMst, lp};
     case AlgorithmKind::kSampledMst:
-      return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kSampledMst, lp);
+      return {LatticeMode::kSampledMst, lp};
+    case AlgorithmKind::kPartialAncestry:
+    case AlgorithmKind::kFullAncestry:
+      throw std::invalid_argument(
+          "lattice_config_of: the ancestry tries are not lattice algorithms");
+  }
+  throw std::invalid_argument("lattice_config_of: unknown kind");
+}
+
+std::unique_ptr<HhhAlgorithm> make_algorithm(const Hierarchy& h,
+                                             const MonitorConfig& cfg) {
+  switch (cfg.algorithm) {
     case AlgorithmKind::kPartialAncestry:
       return std::make_unique<TrieHhh>(h, AncestryMode::kPartial, cfg.eps);
     case AlgorithmKind::kFullAncestry:
       return std::make_unique<TrieHhh>(h, AncestryMode::kFull, cfg.eps);
+    default: {
+      const auto [mode, lp] = lattice_config_of(h, cfg);
+      return std::make_unique<RhhhSpaceSaving>(h, mode, lp);
+    }
   }
-  throw std::invalid_argument("make_algorithm: unknown kind");
 }
 
 HhhMonitor::HhhMonitor(MonitorConfig cfg)

@@ -12,8 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/shard_router.hpp"
 #include "hhh/lattice_hhh.hpp"
 #include "hhh/trie_hhh.hpp"
 
@@ -56,6 +58,44 @@ struct MonitorConfig {
 /// Builds a standalone algorithm over an existing hierarchy.
 [[nodiscard]] std::unique_ptr<HhhAlgorithm> make_algorithm(const Hierarchy& h,
                                                            const MonitorConfig& cfg);
+
+/// Resolves the lattice portion of a MonitorConfig: mode plus LatticeParams
+/// with kTenRhhh's V = 10H applied. Throws std::invalid_argument for the
+/// trie-based algorithms (they are neither lattice-configured nor
+/// mergeable). Shared by make_algorithm and the engine factory.
+[[nodiscard]] std::pair<LatticeMode, LatticeParams> lattice_config_of(
+    const Hierarchy& h, const MonitorConfig& cfg);
+
+// -- sharded multi-core ingest (src/engine/) ---------------------------------
+
+/// What a full producer→worker ring does with the overflow.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,     ///< spin until space frees up: lossless, counted as backpressure
+  kDropTail,  ///< drop the unpushable batch tail: the saturated-port semantics
+};
+
+[[nodiscard]] std::string_view to_string(OverflowPolicy p) noexcept;
+
+/// Configuration of the sharded multi-core ingest engine: a MonitorConfig
+/// restricted to the (mergeable) lattice algorithms, plus the fan-out
+/// topology. See HhhEngine (engine/engine.hpp) for the moving parts and
+/// README "Architecture" for when to choose HhhMonitor vs HhhEngine.
+struct EngineConfig {
+  MonitorConfig monitor{};            ///< hierarchy + lattice parameters
+  std::uint32_t workers = 4;          ///< W shard (consumer) threads
+  std::uint32_t producers = 1;        ///< M ingest handles / threads
+  std::size_t ring_capacity = 1 << 14;  ///< slots per producer×worker ring
+  std::size_t batch = 64;             ///< producer-side flush batch size
+  ShardPolicy policy = ShardPolicy::kKeyHash;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+class HhhEngine;  // engine/engine.hpp
+
+/// Builds a sharded engine from the front-door config (defined in
+/// engine/engine.cpp). Throws std::invalid_argument for trie algorithms or
+/// a degenerate topology (0 workers/producers/batch).
+[[nodiscard]] std::unique_ptr<HhhEngine> make_engine(const EngineConfig& cfg);
 
 class HhhMonitor {
  public:

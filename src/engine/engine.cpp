@@ -1,0 +1,261 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace rhhh {
+
+// ------------------------------------------------------------- Producer ----
+
+HhhEngine::Producer::Producer(HhhEngine* eng, std::uint32_t id)
+    : eng_(eng),
+      id_(id),
+      batch_(eng->cfg_.batch),
+      // All producers share the hash salt (one key -> one shard engine-wide);
+      // the round-robin cursor is staggered by producer id.
+      router_(eng->cfg_.policy, eng->workers(), eng->params_.seed, id),
+      buf_(eng->workers()) {
+  for (auto& b : buf_) b.reserve(batch_);
+}
+
+void HhhEngine::Producer::ingest(const PacketRecord& p) {
+  ingest(eng_->hierarchy().key_of(p));
+}
+
+void HhhEngine::Producer::flush() {
+  for (std::uint32_t w = 0; w < eng_->workers(); ++w) flush_worker(w);
+}
+
+void HhhEngine::Producer::flush_worker(std::uint32_t w) {
+  auto& b = buf_[w];
+  if (offered_local_ != 0) {
+    offered_.fetch_add(offered_local_, std::memory_order_relaxed);
+    offered_local_ = 0;
+  }
+  if (b.empty()) return;
+  SpscRing<Key128>& ring = eng_->ring(id_, w);
+  const Key128* data = b.data();
+  std::size_t left = b.size();
+  while (left != 0) {
+    const std::size_t sent = ring.try_push_n(data, left);
+    data += sent;
+    left -= sent;
+    if (left == 0) break;
+    // Lossless only while workers are consuming; a stopped engine turns
+    // kBlock into drop-tail rather than spinning forever.
+    if (eng_->cfg_.overflow == OverflowPolicy::kDropTail ||
+        !eng_->running_.load(std::memory_order_acquire)) {
+      eng_->ring_dropped_[id_ * eng_->workers() + w]->fetch_add(
+          left, std::memory_order_relaxed);
+      break;
+    }
+    eng_->backpressure_[id_]->fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+  b.clear();
+}
+
+// ------------------------------------------------------------ HhhEngine ----
+
+HhhEngine::HhhEngine(const EngineConfig& cfg)
+    : cfg_(cfg),
+      hierarchy_(std::make_unique<Hierarchy>(make_hierarchy(cfg.monitor.hierarchy))) {
+  if (cfg.workers == 0) throw std::invalid_argument("HhhEngine: workers must be >= 1");
+  if (cfg.producers == 0) {
+    throw std::invalid_argument("HhhEngine: producers must be >= 1");
+  }
+  if (cfg.batch == 0) throw std::invalid_argument("HhhEngine: batch must be >= 1");
+  // Throws for the (unmergeable) trie algorithms.
+  std::tie(mode_, params_) = lattice_config_of(*hierarchy_, cfg.monitor);
+  static_assert(RhhhSpaceSaving::backend_mergeable(),
+                "engine snapshots require a mergeable backend");
+
+  pop_batch_ = std::clamp<std::size_t>(cfg.batch, 1, 4096);
+  workers_.reserve(cfg.workers);
+  for (std::uint32_t w = 0; w < cfg.workers; ++w) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->lattice = make_shard_lattice(0x5eed0000ULL + w);
+    workers_.push_back(std::move(ws));
+  }
+  rings_.reserve(std::size_t{cfg.producers} * cfg.workers);
+  ring_dropped_.reserve(std::size_t{cfg.producers} * cfg.workers);
+  for (std::uint32_t p = 0; p < cfg.producers; ++p) {
+    for (std::uint32_t w = 0; w < cfg.workers; ++w) {
+      rings_.push_back(std::make_unique<SpscRing<Key128>>(cfg.ring_capacity));
+      ring_dropped_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    }
+    backpressure_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  producers_.reserve(cfg.producers);
+  for (std::uint32_t p = 0; p < cfg.producers; ++p) {
+    producers_.push_back(std::unique_ptr<Producer>(new Producer(this, p)));
+  }
+}
+
+HhhEngine::~HhhEngine() { stop(); }
+
+std::unique_ptr<RhhhSpaceSaving> HhhEngine::make_shard_lattice(
+    std::uint64_t salt) const {
+  LatticeParams lp = params_;
+  // Distinct per-shard RNG streams; merge compatibility only needs the
+  // hierarchy/mode/V/r to match, which cloning the params guarantees.
+  lp.seed = mix64(params_.seed ^ salt);
+  return std::make_unique<RhhhSpaceSaving>(*hierarchy_, mode_, lp);
+}
+
+void HhhEngine::start() {
+  // snap_mu_ serializes all control ops (start/stop/snapshot) so a
+  // no-quiesce snapshot can never overlap freshly spawned workers.
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  if (running_.exchange(true)) return;
+  for (std::uint32_t w = 0; w < workers(); ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+void HhhEngine::stop() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    ctl_cv_.notify_all();
+  }
+  for (auto& ws : workers_) {
+    if (ws->thread.joinable()) ws->thread.join();
+  }
+  // A producer racing stop() can slip a batch into a ring after that
+  // worker's shutdown drain saw it empty; sweep the rings once more from
+  // here (workers are joined, so this thread is the only consumer) so no
+  // accepted record is ever stranded outside consumed/dropped accounting.
+  std::vector<Key128> batch(pop_batch_);
+  for (std::uint32_t w = 0; w < workers(); ++w) {
+    while (drain_pass(w, batch) != 0) {
+    }
+  }
+}
+
+std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
+  WorkerState& ws = *workers_[w];
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < producers(); ++p) {
+    const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
+    for (std::size_t i = 0; i < n; ++i) ws.lattice->update(batch[i]);
+    total += n;
+  }
+  if (total != 0) ws.consumed.fetch_add(total, std::memory_order_relaxed);
+  return total;
+}
+
+void HhhEngine::worker_loop(std::uint32_t w) {
+  WorkerState& ws = *workers_[w];
+  std::vector<Key128> batch(pop_batch_);
+  std::uint64_t acked = 0;
+  for (;;) {
+    const std::size_t got = drain_pass(w, batch);
+    const std::uint64_t e = epoch_req_.load(std::memory_order_acquire);
+    if (e > acked) {
+      // Epoch boundary: consume exactly the backlog visible in each ring at
+      // this instant, then ack and park until the coordinator has merged
+      // this shard's lattice. Bounding the drain by the observed size keeps
+      // quiesce terminating even while producers keep pushing -- later
+      // arrivals simply belong to the next epoch.
+      for (std::uint32_t p = 0; p < producers(); ++p) {
+        SpscRing<Key128>& r = ring(p, w);
+        std::size_t left = r.size_approx();
+        while (left != 0) {
+          const std::size_t n =
+              r.try_pop_n(batch.data(), std::min(batch.size(), left));
+          if (n == 0) break;
+          for (std::size_t i = 0; i < n; ++i) ws.lattice->update(batch[i]);
+          ws.consumed.fetch_add(n, std::memory_order_relaxed);
+          left -= n;
+        }
+      }
+      std::unique_lock<std::mutex> lk(ctl_mu_);
+      ws.epoch_acked = e;
+      acked = e;
+      ctl_cv_.notify_all();
+      ctl_cv_.wait(lk, [&] {
+        return epoch_resume_.load(std::memory_order_relaxed) >= e ||
+               !running_.load(std::memory_order_relaxed);
+      });
+      continue;
+    }
+    if (got == 0) {
+      if (!running_.load(std::memory_order_acquire)) {
+        // Shutdown: consume everything still in flight, then exit.
+        while (drain_pass(w, batch) != 0) {
+        }
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+EngineStats HhhEngine::collect_stats() const {
+  EngineStats s;
+  s.per_worker_consumed.reserve(workers_.size());
+  for (const auto& ws : workers_) {
+    const std::uint64_t c = ws->consumed.load(std::memory_order_relaxed);
+    s.per_worker_consumed.push_back(c);
+    s.consumed += c;
+  }
+  s.per_ring_dropped.reserve(rings_.size());
+  for (const auto& d : ring_dropped_) {
+    const std::uint64_t n = d->load(std::memory_order_relaxed);
+    s.per_ring_dropped.push_back(n);
+    s.dropped += n;
+  }
+  for (const auto& p : producers_) s.offered += p->offered();
+  for (const auto& b : backpressure_) {
+    s.backpressure_waits += b->load(std::memory_order_relaxed);
+  }
+  s.epochs = epoch_req_.load(std::memory_order_relaxed);
+  return s;
+}
+
+EngineStats HhhEngine::stats() const { return collect_stats(); }
+
+EngineSnapshot HhhEngine::snapshot() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed) + 1;
+  if (running_.load(std::memory_order_acquire)) {
+    epoch_req_.store(e, std::memory_order_release);
+    std::unique_lock<std::mutex> lk(ctl_mu_);
+    ctl_cv_.wait(lk, [&] {
+      return std::all_of(workers_.begin(), workers_.end(),
+                         [&](const auto& ws) { return ws->epoch_acked >= e; });
+    });
+  } else {
+    // No workers to quiesce (before start() or after stop()); the lattices
+    // are only mutated by workers, so merging directly is safe. The resume
+    // mark still has to advance with the request, or workers started later
+    // would park at this epoch's boundary waiting for a resume that already
+    // happened.
+    epoch_req_.store(e, std::memory_order_relaxed);
+    epoch_resume_.store(e, std::memory_order_relaxed);
+  }
+
+  auto merged = make_shard_lattice(0x6e7a9000ULL ^ e);
+  for (const auto& ws : workers_) merged->merge(*ws->lattice);
+  EngineStats s = collect_stats();
+  // A dropped record was still offered on the wire: fold drops into N so
+  // thresholds and slack terms see the full stream, exactly like
+  // DistributedMeasurement::stop() does.
+  if (s.dropped != 0) merged->advance_stream(s.dropped);
+
+  if (running_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    epoch_resume_.store(e, std::memory_order_relaxed);
+    ctl_cv_.notify_all();
+  }
+  return EngineSnapshot(std::move(merged), std::move(s), e);
+}
+
+std::unique_ptr<HhhEngine> make_engine(const EngineConfig& cfg) {
+  return std::make_unique<HhhEngine>(cfg);
+}
+
+}  // namespace rhhh

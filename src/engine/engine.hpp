@@ -1,0 +1,179 @@
+// HhhEngine: the sharded multi-core ingest engine.
+//
+// Scale-out shape (the Confluo/Akumuli "per-core writers over per-shard
+// summaries" design, applied to RHHH):
+//
+//   producer 0 ──ring──▶ worker 0 [LatticeHhh shard]
+//      │    └───ring──▶ worker 1 [LatticeHhh shard]      snapshot(): quiesce
+//   producer 1 ──ring──▶ worker 0         │           ─▶ at an epoch boundary,
+//      │    └───ring──▶ worker 1 ─────────┘              LatticeHhh::merge all
+//      ⋮                    ⋮                             shards, answer
+//                                                        network-wide queries
+//
+// M producer threads fan packets across W worker shards. Every producer ×
+// worker pair owns a dedicated SpscRing, so each ring stays strictly
+// single-producer/single-consumer; producers batch records locally and push
+// with try_push_n to amortize the ring atomics. Each worker owns a private
+// LatticeHhh (no shared state on the packet path) and consumes its M rings
+// with try_pop_n. Queries run through an epoch-based snapshot: workers
+// quiesce at the epoch boundary, the coordinator merges the shard lattices
+// (LatticeHhh::merge -- the multi-switch collector of paper Section 7) into
+// one instance whose stream length N spans every shard plus counted drops,
+// and workers resume.
+//
+// Accounting: drops are counted per ring (OverflowPolicy::kDropTail, the
+// saturated-port semantics of the distributed deployment), backpressure
+// retry rounds per producer (OverflowPolicy::kBlock, the lossless mode the
+// throughput benches use), and consumed packets per worker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "engine/shard_router.hpp"
+#include "engine/snapshot.hpp"
+#include "hhh/lattice_hhh.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace rhhh {
+
+class HhhEngine {
+ public:
+  /// Validates the config (lattice-mode algorithm, >=1 worker/producer) and
+  /// builds the shards and rings; workers start on start().
+  explicit HhhEngine(const EngineConfig& cfg);
+  ~HhhEngine();
+
+  HhhEngine(const HhhEngine&) = delete;
+  HhhEngine& operator=(const HhhEngine&) = delete;
+
+  /// Per-producer-thread ingest handle. NOT thread-safe: exactly one thread
+  /// may use a given handle at a time (that is what keeps every ring SPSC).
+  class Producer {
+   public:
+    /// Buffer one packet key; flushes the target shard's batch when full.
+    /// With OverflowPolicy::kBlock a full ring spins (lossless, counted as
+    /// backpressure); with kDropTail the unpushable batch tail is dropped
+    /// and counted against the ring.
+    void ingest(Key128 key) {
+      offered_local_ += 1;
+      const std::uint32_t w = router_.route(key);
+      auto& b = buf_[w];
+      b.push_back(key);
+      if (b.size() >= batch_) flush_worker(w);
+    }
+    /// Convenience overload mapping a packet through the engine's hierarchy.
+    void ingest(const PacketRecord& p);
+
+    /// Push out every partially filled batch (and publish the offered
+    /// count). Call before snapshot() for results that include everything
+    /// this producer ingested.
+    void flush();
+
+    /// Packets this handle has accepted and published. Updated on each
+    /// batch flush (so it may trail ingest() by up to one batch until
+    /// flush() is called); safe to read from any thread.
+    [[nodiscard]] std::uint64_t offered() const noexcept {
+      return offered_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class HhhEngine;
+    Producer(HhhEngine* eng, std::uint32_t id);
+    void flush_worker(std::uint32_t w);
+
+    HhhEngine* eng_;
+    std::uint32_t id_;
+    std::size_t batch_;
+    ShardRouter router_;
+    std::vector<std::vector<Key128>> buf_;  ///< per-worker pending batch
+    std::uint64_t offered_local_ = 0;       ///< not yet published to offered_
+    std::atomic<std::uint64_t> offered_{0};
+  };
+
+  /// Spawns the W worker threads. Idempotent.
+  void start();
+  /// Drains the rings, stops and joins the workers. Producer buffers are
+  /// not flushed (call Producer::flush() from the owning thread first).
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Handle for producer `i` in [0, producers()). Hand each to one thread.
+  [[nodiscard]] Producer& producer(std::uint32_t i) { return *producers_[i]; }
+
+  /// Epoch-based network-wide query: quiesces every worker at the next
+  /// epoch boundary (each drains its visible ring backlog first), merges
+  /// the shard lattices into a fresh instance, folds counted drops into its
+  /// stream length, and resumes the workers. Packets still buffered in
+  /// producer handles (not flushed) are not yet part of the snapshot.
+  /// Serialized with itself and with stop(); callable before start() and
+  /// after stop() (no quiesce needed once workers are gone).
+  [[nodiscard]] EngineSnapshot snapshot();
+
+  /// Live ingest counters (no quiesce; individually-consistent atomics).
+  [[nodiscard]] EngineStats stats() const;
+
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  [[nodiscard]] std::uint32_t producers() const noexcept {
+    return static_cast<std::uint32_t>(producers_.size());
+  }
+  [[nodiscard]] const Hierarchy& hierarchy() const noexcept { return *hierarchy_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+  /// Epochs closed so far (== number of snapshots taken).
+  [[nodiscard]] std::uint64_t epochs() const noexcept {
+    return epoch_req_.load(std::memory_order_relaxed);
+  }
+  /// The shard lattice of worker `w`. Safe to inspect when quiescent
+  /// (before start(), after stop(), or from test code that knows better).
+  [[nodiscard]] const RhhhSpaceSaving& shard(std::uint32_t w) const noexcept {
+    return *workers_[w]->lattice;
+  }
+
+ private:
+  struct WorkerState {
+    std::unique_ptr<RhhhSpaceSaving> lattice;
+    std::thread thread;
+    std::uint64_t epoch_acked = 0;  ///< guarded by ctl_mu_
+    alignas(kCacheLine) std::atomic<std::uint64_t> consumed{0};
+  };
+
+  [[nodiscard]] SpscRing<Key128>& ring(std::uint32_t p, std::uint32_t w) noexcept {
+    return *rings_[p * workers_.size() + w];
+  }
+  [[nodiscard]] std::unique_ptr<RhhhSpaceSaving> make_shard_lattice(
+      std::uint64_t salt) const;
+  void worker_loop(std::uint32_t w);
+  /// One try_pop_n sweep over worker w's M rings; returns records consumed.
+  std::size_t drain_pass(std::uint32_t w, std::vector<Key128>& batch);
+  [[nodiscard]] EngineStats collect_stats() const;
+
+  EngineConfig cfg_;
+  std::unique_ptr<Hierarchy> hierarchy_;
+  LatticeMode mode_;
+  LatticeParams params_;  ///< resolved (kTenRhhh's V applied), base seed
+  std::size_t pop_batch_;
+
+  std::vector<std::unique_ptr<SpscRing<Key128>>> rings_;  ///< [p * W + w]
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> ring_dropped_;  ///< [p * W + w]
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> backpressure_;  ///< [p]
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> epoch_req_{0};
+  std::atomic<std::uint64_t> epoch_resume_{0};
+  std::mutex ctl_mu_;               ///< guards epoch_acked + the cv below
+  std::condition_variable ctl_cv_;
+  std::mutex snap_mu_;              ///< serializes snapshot() and stop()
+};
+
+}  // namespace rhhh

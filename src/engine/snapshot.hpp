@@ -1,0 +1,56 @@
+// EngineSnapshot: the result of quiescing the sharded engine at an epoch
+// boundary -- one merged LatticeHhh over every shard's sub-stream plus the
+// ingest counters frozen at the same instant. Queries answer network-wide
+// (all shards, all producers) exactly like the multi-switch collector of
+// examples/multi_switch_merge.cpp, with the merged stream length N driving
+// thresholds and the randomized-mode slack terms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hhh/lattice_hhh.hpp"
+
+namespace rhhh {
+
+/// Ingest accounting, frozen per snapshot (and exposed live by the engine).
+struct EngineStats {
+  std::uint64_t offered = 0;    ///< packets handed to any producer handle
+  std::uint64_t consumed = 0;   ///< packets applied to some shard lattice
+  std::uint64_t dropped = 0;    ///< ring-full drops on the lossy offer() path
+  std::uint64_t backpressure_waits = 0;  ///< full-ring retry rounds of push()
+  std::uint64_t epochs = 0;     ///< snapshots taken so far
+  std::vector<std::uint64_t> per_worker_consumed;  ///< [worker]
+  std::vector<std::uint64_t> per_ring_dropped;     ///< [producer * W + worker]
+};
+
+class EngineSnapshot {
+ public:
+  EngineSnapshot(std::unique_ptr<RhhhSpaceSaving> merged, EngineStats stats,
+                 std::uint64_t epoch)
+      : merged_(std::move(merged)), stats_(std::move(stats)), epoch_(epoch) {}
+
+  /// The network-wide approximate HHH set at threshold theta.
+  [[nodiscard]] HhhSet output(double theta) const { return merged_->output(theta); }
+
+  /// N of the merged stream: every consumed packet plus every counted drop
+  /// (a drop still happened on the wire, so thresholds must see it -- the
+  /// same convention as DistributedMeasurement's advance_stream()).
+  [[nodiscard]] std::uint64_t stream_length() const {
+    return merged_->stream_length();
+  }
+
+  [[nodiscard]] const RhhhSpaceSaving& algorithm() const noexcept { return *merged_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  /// 1-based epoch number this snapshot closed.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::unique_ptr<RhhhSpaceSaving> merged_;
+  EngineStats stats_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace rhhh

@@ -160,12 +160,11 @@ HhhSet LatticeHhh<Backend>::output(double theta) const {
 
 template <class Backend>
 void LatticeHhh<Backend>::merge(const LatticeHhh& other) {
-  if (H_ != other.H_ || h_->name() != other.h_->name() || mode_ != other.mode_ ||
-      V_ != other.V_ || p_.r != other.p_.r) {
+  if (!mergeable_with(other)) {
     throw std::invalid_argument(
         "LatticeHhh::merge: instances must share hierarchy, mode, V and r");
   }
-  if constexpr (requires(Backend& b, const Backend& o) { b.merge(o); }) {
+  if constexpr (backend_mergeable()) {
     for (std::uint32_t d = 0; d < H_; ++d) hh_[d].merge(other.hh_[d]);
     n_ += other.n_;
     updates_ += other.updates_;

@@ -109,6 +109,21 @@ class LatticeHhh final : public HhhAlgorithm {
   /// support merging (Space-Saving).
   void merge(const LatticeHhh& other);
 
+  /// True iff the backend supports merge() at all (Space-Saving does; the
+  /// sketch/exact backends currently do not).
+  [[nodiscard]] static constexpr bool backend_mergeable() noexcept {
+    return requires(Backend& b, const Backend& o) { b.merge(o); };
+  }
+  /// True iff merge(other) would be accepted: same hierarchy shape, mode,
+  /// V and r. Seeds may differ (and should, across shards).
+  [[nodiscard]] bool mergeable_with(const LatticeHhh& other) const noexcept {
+    return H_ == other.H_ && h_->name() == other.h_->name() &&
+           mode_ == other.mode_ && V_ == other.V_ && p_.r == other.p_.r;
+  }
+  /// The construction parameters (V still as passed; see V() for the
+  /// resolved value). Snapshot paths use this to clone compatible instances.
+  [[nodiscard]] const LatticeParams& params() const noexcept { return p_; }
+
   [[nodiscard]] std::uint64_t stream_length() const override { return n_; }
   [[nodiscard]] double psi() const override;
   void clear() override;

@@ -1,11 +1,18 @@
 // SpscRing: a bounded lock-free single-producer/single-consumer queue.
 //
 // This is the forwarding channel of the "distributed" measurement deployment
-// (paper §5.2): the virtual-switch dataplane pushes sampled packet records,
-// a measurement thread pops them. A full ring drops the record (and the
-// caller counts it), mirroring a saturated forwarding port.
+// (paper §5.2) and of every producer→worker link in the sharded engine
+// (src/engine/): a dataplane thread pushes packet records, a measurement /
+// worker thread pops them. A full ring drops the record (and the caller
+// counts it), mirroring a saturated forwarding port.
+//
+// Each side caches the opposing index (producer caches head_, consumer
+// caches tail_), so the hot path touches the shared cache line only on
+// apparent-full / apparent-empty; the batch operations amortize even that
+// over up to `n` records per reload and publish with a single store.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +65,42 @@ class SpscRing {
     out = buf_[head];
     head_.store((head + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  /// Producer side, batched: pushes up to `n` records from `v`, returning
+  /// how many were accepted (0..n; the tail of the batch is what a full ring
+  /// rejects). The opposing index is reloaded at most once per call, and the
+  /// accepted records become visible with one release store.
+  std::size_t try_push_n(const T* v, std::size_t n) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ - ((tail - head_cache_) & mask_);
+    if (free < n) {  // apparent shortfall: refresh the cached consumer index
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ - ((tail - head_cache_) & mask_);
+      if (free == 0) return 0;
+    }
+    const std::size_t cnt = std::min(n, free);
+    for (std::size_t i = 0; i < cnt; ++i) buf_[(tail + i) & mask_] = v[i];
+    tail_.store((tail + cnt) & mask_, std::memory_order_release);
+    return cnt;
+  }
+
+  /// Consumer side, batched: pops up to `max` records into `out`, returning
+  /// how many were taken. The opposing index is reloaded only on apparent
+  /// empty (unlike push, a partial batch costs the consumer nothing), and
+  /// consumption is published with one release store.
+  std::size_t try_pop_n(T* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = (tail_cache_ - head) & mask_;
+    if (avail == 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = (tail_cache_ - head) & mask_;
+      if (avail == 0) return 0;
+    }
+    const std::size_t cnt = std::min(max, avail);
+    for (std::size_t i = 0; i < cnt; ++i) out[i] = buf_[(head + i) & mask_];
+    head_.store((head + cnt) & mask_, std::memory_order_release);
+    return cnt;
   }
 
   /// Approximate number of queued records (exact only when quiescent).

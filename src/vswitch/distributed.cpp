@@ -27,20 +27,27 @@ void DistributedMeasurement::stop() {
 }
 
 void DistributedMeasurement::consume() {
-  Sample s;
-  while (running_.load(std::memory_order_relaxed)) {
-    if (ring_.try_pop(s)) {
-      rhhh_.ingest_sampled(s.level, s.key);
-      forwarded_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      std::this_thread::yield();
+  // Batched consumption (SpscRing::try_pop_n): one acquire reload and one
+  // release store cover up to a whole batch, so the measurement thread's
+  // ring overhead amortizes the same way the engine workers' does.
+  constexpr std::size_t kBatch = 128;
+  Sample batch[kBatch];
+  const auto drain = [&]() -> std::size_t {
+    std::size_t total = 0;
+    for (std::size_t n; (n = ring_.try_pop_n(batch, kBatch)) != 0;) {
+      for (std::size_t i = 0; i < n; ++i) {
+        rhhh_.ingest_sampled(batch[i].level, batch[i].key);
+      }
+      forwarded_.fetch_add(n, std::memory_order_relaxed);
+      total += n;
     }
+    return total;
+  };
+  while (running_.load(std::memory_order_relaxed)) {
+    if (drain() == 0) std::this_thread::yield();
   }
   // Final drain after the producer stopped.
-  while (ring_.try_pop(s)) {
-    rhhh_.ingest_sampled(s.level, s.key);
-    forwarded_.fetch_add(1, std::memory_order_relaxed);
-  }
+  drain();
 }
 
 }  // namespace rhhh

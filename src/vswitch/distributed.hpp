@@ -50,6 +50,26 @@ class DistributedMeasurement final : public MeasurementHook {
   [[nodiscard]] HhhSet output(double theta) const { return rhhh_.output(theta); }
   [[nodiscard]] const RhhhSpaceSaving& algorithm() const noexcept { return rhhh_; }
 
+  /// Forwarding-path accounting. `drop_rate` is the share of ring-bound
+  /// samples lost to a full ring: drops / (forwarded + drops).
+  struct Stats {
+    std::uint64_t offered = 0;    ///< packets seen at the switch
+    std::uint64_t forwarded = 0;  ///< samples delivered to the measurement thread
+    std::uint64_t drops = 0;      ///< samples lost to a full ring
+    double drop_rate = 0.0;
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.offered = offered_.load(std::memory_order_relaxed);
+    s.forwarded = forwarded_.load(std::memory_order_relaxed);
+    s.drops = drops_.load(std::memory_order_relaxed);
+    const std::uint64_t bound = s.forwarded + s.drops;
+    s.drop_rate = bound == 0 ? 0.0
+                             : static_cast<double>(s.drops) /
+                                   static_cast<double>(bound);
+    return s;
+  }
+
   [[nodiscard]] std::uint64_t offered() const noexcept {
     return offered_.load(std::memory_order_relaxed);
   }

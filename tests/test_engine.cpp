@@ -1,0 +1,452 @@
+// Tests for the sharded multi-core ingest engine (src/engine/): shard
+// routing, config validation, the single-shard == single-LatticeHhh
+// equivalence the snapshot path promises, multi-shard coverage against
+// exact ground truth, epoch accounting, drop/backpressure accounting, and a
+// producer/worker thread stress (the W>=4 case CI runs under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "engine/engine.hpp"
+#include "engine/shard_router.hpp"
+#include "eval/ground_truth.hpp"
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+#include "util/random.hpp"
+
+namespace rhhh {
+namespace {
+
+// ---------------------------------------------------------- ShardRouter ----
+
+TEST(ShardRouterTest, KeyHashIsDeterministicAndInRange) {
+  ShardRouter a(ShardPolicy::kKeyHash, 4, 42);
+  ShardRouter b(ShardPolicy::kKeyHash, 4, 42);
+  Xoroshiro128 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const Key128 k{rng(), rng()};
+    const std::uint32_t s = a.route(k);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, b.route(k)) << "same salt must give the same mapping";
+    EXPECT_EQ(s, a.route(k)) << "key-hash routing is stateless";
+  }
+}
+
+TEST(ShardRouterTest, KeyHashSpreadsAcrossShards) {
+  ShardRouter r(ShardPolicy::kKeyHash, 4, 7);
+  Xoroshiro128 rng(2);
+  std::vector<int> hits(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++hits[r.route(Key128{rng(), rng()})];
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(hits[s], kDraws / 4, kDraws / 20) << "shard " << s;
+  }
+}
+
+TEST(ShardRouterTest, RoundRobinCyclesFromStaggeredStart) {
+  ShardRouter r(ShardPolicy::kRoundRobin, 3, 0, /*rr_start=*/2);
+  const Key128 k{};
+  EXPECT_EQ(r.route(k), 2u);
+  EXPECT_EQ(r.route(k), 0u);
+  EXPECT_EQ(r.route(k), 1u);
+  EXPECT_EQ(r.route(k), 2u);
+}
+
+// ------------------------------------------------------------ config ----
+
+TEST(EngineConfigTest, Validation) {
+  EngineConfig cfg;
+  cfg.workers = 0;
+  EXPECT_THROW(HhhEngine{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.producers = 0;
+  EXPECT_THROW(HhhEngine{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.batch = 0;
+  EXPECT_THROW(HhhEngine{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.monitor.algorithm = AlgorithmKind::kFullAncestry;
+  EXPECT_THROW(HhhEngine{cfg}, std::invalid_argument)
+      << "trie algorithms are not mergeable and must be rejected";
+}
+
+TEST(EngineConfigTest, FactoryBuildsConfiguredTopology) {
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.producers = 2;
+  cfg.monitor.algorithm = AlgorithmKind::kTenRhhh;
+  const std::unique_ptr<HhhEngine> eng = make_engine(cfg);
+  EXPECT_EQ(eng->workers(), 3u);
+  EXPECT_EQ(eng->producers(), 2u);
+  EXPECT_EQ(eng->epochs(), 0u);
+  // kTenRhhh resolved V = 10H on every shard.
+  EXPECT_EQ(eng->shard(0).V(), 250u);
+  EXPECT_TRUE(eng->shard(0).mergeable_with(eng->shard(2)));
+}
+
+// ------------------------------------------------- single-shard == one ----
+
+/// Acceptance criterion: a 1-producer / 1-worker engine must be
+/// statistically equivalent to a single LatticeHhh over the same trace --
+/// same stream length, same error bounds, same heavy hitters.
+TEST(EngineTest, SingleShardMatchesSingleLattice) {
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.producers = 1;
+  cfg.monitor.eps = 0.05;
+  cfg.monitor.delta = 0.05;
+  cfg.monitor.seed = 99;
+  HhhEngine eng(cfg);
+
+  const Hierarchy h = make_hierarchy(cfg.monitor.hierarchy);
+  const auto [mode, lp] = lattice_config_of(h, cfg.monitor);
+  RhhhSpaceSaving reference(h, mode, lp);
+
+  const Key128 hot = Key128::from_pair(ipv4(10, 1, 2, 3), ipv4(99, 5, 6, 7));
+  constexpr int kN = 200000;
+  std::uint64_t true_hot = 0;
+  std::vector<Key128> stream;
+  stream.reserve(kN);
+  {
+    Xoroshiro128 rng(123);
+    for (int i = 0; i < kN; ++i) {
+      if (rng.bounded(10) < 3) {
+        stream.push_back(hot);
+        ++true_hot;
+      } else {
+        stream.push_back(
+            Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+      }
+    }
+  }
+
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  for (const Key128& k : stream) {
+    prod.ingest(k);
+    reference.update(k);
+  }
+  prod.flush();
+  eng.stop();
+  const EngineSnapshot snap = eng.snapshot();
+
+  // Same stream length (lossless ingest, everything flushed and drained).
+  ASSERT_EQ(snap.stream_length(), static_cast<std::uint64_t>(kN));
+  ASSERT_EQ(reference.stream_length(), static_cast<std::uint64_t>(kN));
+  const EngineStats& s = snap.stats();
+  EXPECT_EQ(s.offered, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.consumed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.dropped, 0u);
+
+  // Same configuration => same error-bound machinery.
+  const RhhhSpaceSaving& merged = snap.algorithm();
+  EXPECT_EQ(merged.V(), reference.V());
+  EXPECT_DOUBLE_EQ(merged.scale(), reference.scale());
+  EXPECT_DOUBLE_EQ(merged.correction(), reference.correction());
+
+  // Both estimates of the planted pair obey the same additive bound
+  // (Theorem 6.11: eps_a * N + the 2 Z sqrt(NV) sampling slack).
+  const Prefix hot_prefix{h.bottom(), hot};
+  const double bound =
+      reference.eps_a() * kN + reference.correction();
+  EXPECT_NEAR(merged.estimate(hot_prefix), static_cast<double>(true_hot), bound);
+  EXPECT_NEAR(reference.estimate(hot_prefix), static_cast<double>(true_hot), bound);
+
+  // Both report the planted pair (30% of traffic) at theta = 0.2.
+  for (const HhhSet& out : {snap.output(0.2), reference.output(0.2)}) {
+    bool found = false;
+    for (const HhhCandidate& c : out) {
+      if (c.prefix == hot_prefix) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// ------------------------------------------------------- multi-shard ----
+
+/// Sharded ingest + epoch merge must cover every exact HHH of the union
+/// stream, whichever routing policy spreads the packets.
+class EngineCoverage : public ::testing::TestWithParam<ShardPolicy> {};
+
+TEST_P(EngineCoverage, MergedSnapshotCoversExactHhhs) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.producers = 2;
+  cfg.policy = GetParam();
+  cfg.monitor.eps = 0.02;
+  cfg.monitor.delta = 0.05;
+  HhhEngine eng(cfg);
+  const Hierarchy& h = eng.hierarchy();
+
+  constexpr int kN = 300000;
+  std::vector<Key128> stream;
+  stream.reserve(kN);
+  {
+    TraceGenerator gen(trace_preset("sanjose14"));
+    for (int i = 0; i < kN; ++i) stream.push_back(h.key_of(gen.next()));
+  }
+  ExactHhh truth(h);
+  for (const Key128& k : stream) truth.add(k);
+  const double theta = 0.1;
+  const HhhSet exact = truth.compute(theta);
+  ASSERT_GT(exact.size(), 0u);
+
+  eng.start();
+  // Two producer threads, each ingesting half the stream.
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      HhhEngine::Producer& prod = eng.producer(p);
+      for (std::size_t i = p; i < stream.size(); i += 2) prod.ingest(stream[i]);
+      prod.flush();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  eng.stop();
+  const EngineSnapshot snap = eng.snapshot();
+
+  ASSERT_EQ(snap.stream_length(), static_cast<std::uint64_t>(kN));
+  const HhhSet out = snap.output(theta);
+  for (const HhhCandidate& c : exact) {
+    bool covered = out.contains(c.prefix);
+    if (!covered) {
+      for (const HhhCandidate& o : out) {
+        if (h.generalizes(c.prefix, o.prefix) ||
+            h.generalizes(o.prefix, c.prefix)) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(covered) << to_string(GetParam()) << " missing "
+                         << h.format(c.prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EngineCoverage,
+                         ::testing::Values(ShardPolicy::kKeyHash,
+                                           ShardPolicy::kRoundRobin),
+                         [](const auto& info) {
+                           return info.param == ShardPolicy::kKeyHash
+                                      ? "KeyHash"
+                                      : "RoundRobin";
+                         });
+
+TEST(EngineTest, RoundRobinBalancesWorkAndMergeRestoresTotals) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.producers = 1;
+  cfg.policy = ShardPolicy::kRoundRobin;
+  cfg.monitor.algorithm = AlgorithmKind::kMst;  // deterministic counts
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  const Key128 k = Key128::from_pair(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8));
+  constexpr std::uint64_t kN = 40000;
+  for (std::uint64_t i = 0; i < kN; ++i) prod.ingest(k);
+  prod.flush();
+  eng.stop();
+  const EngineSnapshot snap = eng.snapshot();
+
+  // Round-robin spreads the stream exactly evenly over the 4 shards...
+  const EngineStats& s = snap.stats();
+  ASSERT_EQ(s.per_worker_consumed.size(), 4u);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(s.per_worker_consumed[w], kN / 4) << "worker " << w;
+  }
+  // ... and the merged MST lattice recovers the exact network-wide count.
+  EXPECT_EQ(snap.stream_length(), kN);
+  const Prefix p{eng.hierarchy().bottom(), k};
+  EXPECT_DOUBLE_EQ(snap.algorithm().estimate(p), static_cast<double>(kN));
+}
+
+// ---------------------------------------------------- epochs and drops ----
+
+TEST(EngineTest, EpochSnapshotsAdvanceAndAccumulate) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(7);
+  const auto feed = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+    }
+    prod.flush();
+  };
+
+  feed(30000);
+  const EngineSnapshot first = eng.snapshot();
+  EXPECT_EQ(first.epoch(), 1u);
+  EXPECT_EQ(first.stream_length(), 30000u);
+  EXPECT_EQ(eng.epochs(), 1u);
+
+  // The engine keeps ingesting across epochs; the next snapshot sees the
+  // cumulative stream, not just the delta.
+  feed(20000);
+  const EngineSnapshot second = eng.snapshot();
+  EXPECT_EQ(second.epoch(), 2u);
+  EXPECT_EQ(second.stream_length(), 50000u);
+  EXPECT_EQ(second.stats().epochs, 2u);
+  eng.stop();
+}
+
+TEST(EngineTest, DropTailAccountingAndStreamLengthFold) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.ring_capacity = 16;
+  cfg.batch = 8;
+  cfg.overflow = OverflowPolicy::kDropTail;
+  HhhEngine eng(cfg);  // never started: rings fill, tails drop
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(11);
+  constexpr std::uint64_t kN = 10000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+
+  EngineStats s = eng.stats();
+  EXPECT_EQ(s.offered, kN);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(s.consumed, 0u);
+  EXPECT_EQ(s.per_ring_dropped.size(), 2u);
+  std::uint64_t per_ring_sum = 0;
+  for (const std::uint64_t d : s.per_ring_dropped) per_ring_sum += d;
+  EXPECT_EQ(per_ring_sum, s.dropped);
+  // Everything not dropped is still sitting in the rings.
+  EXPECT_LE(kN - s.dropped, 2u * 16u);
+
+  // Drops count toward N (they were offered on the wire), like
+  // DistributedMeasurement::advance_stream.
+  const EngineSnapshot before = eng.snapshot();
+  EXPECT_EQ(before.stream_length(), s.dropped);
+
+  // Starting the workers drains the rings; the final snapshot accounts for
+  // every offered packet as consumed or dropped.
+  eng.start();
+  eng.stop();
+  const EngineSnapshot after = eng.snapshot();
+  s = after.stats();
+  EXPECT_EQ(s.consumed + s.dropped, kN);
+  EXPECT_EQ(after.stream_length(), kN);
+}
+
+/// Regression: a snapshot taken before start() must not strand workers
+/// started afterwards at the already-resumed epoch boundary (the resume
+/// mark has to advance with the request even when nobody is parked).
+TEST(EngineTest, SnapshotBeforeStartDoesNotWedgeWorkers) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  HhhEngine eng(cfg);
+
+  const EngineSnapshot empty = eng.snapshot();  // pre-start epoch
+  EXPECT_EQ(empty.epoch(), 1u);
+  EXPECT_EQ(empty.stream_length(), 0u);
+
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(17);
+  constexpr std::uint64_t kN = 50000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  // Workers must still be consuming (not parked): a live snapshot completes
+  // and sees the whole stream.
+  const EngineSnapshot live = eng.snapshot();
+  EXPECT_EQ(live.epoch(), 2u);
+  EXPECT_EQ(live.stream_length(), kN);
+  eng.stop();
+}
+
+TEST(EngineTest, BlockingOverflowIsLosslessAndCounted) {
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.producers = 1;
+  cfg.ring_capacity = 64;  // tiny: force backpressure
+  cfg.batch = 32;
+  cfg.overflow = OverflowPolicy::kBlock;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(13);
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.offered, kN);
+  EXPECT_EQ(s.consumed, kN) << "kBlock must not lose records";
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+// ------------------------------------------------------------- stress ----
+
+/// The ASan/UBSan CI tier runs this: 4 producer threads x 4 workers under
+/// concurrent mid-stream snapshots. Checks lossless accounting end to end.
+TEST(EngineStress, FourProducersFourWorkersWithConcurrentSnapshots) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.producers = 4;
+  cfg.ring_capacity = 1 << 12;
+  cfg.monitor.eps = 0.05;
+  cfg.monitor.delta = 0.05;
+  HhhEngine eng(cfg);
+  eng.start();
+
+  const Key128 hot = Key128::from_pair(ipv4(10, 1, 2, 3), ipv4(99, 5, 6, 7));
+  constexpr std::uint64_t kPerProducer = 50000;
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      HhhEngine::Producer& prod = eng.producer(p);
+      Xoroshiro128 rng(1000 + p);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        if (rng.bounded(10) < 3) {
+          prod.ingest(hot);
+        } else {
+          prod.ingest(
+              Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+        }
+      }
+      prod.flush();
+    });
+  }
+  // Two snapshots taken while producers are firing: must quiesce and resume
+  // without losing records or deadlocking.
+  for (int i = 0; i < 2; ++i) {
+    const EngineSnapshot mid = eng.snapshot();
+    EXPECT_EQ(mid.epoch(), static_cast<std::uint64_t>(i + 1));
+  }
+  for (std::thread& t : threads) t.join();
+  eng.stop();
+
+  const EngineSnapshot final_snap = eng.snapshot();
+  EXPECT_EQ(final_snap.stream_length(), 4 * kPerProducer);
+  const EngineStats& s = final_snap.stats();
+  EXPECT_EQ(s.offered, 4 * kPerProducer);
+  EXPECT_EQ(s.consumed, 4 * kPerProducer);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.epochs, 3u);
+
+  bool found = false;
+  const Prefix hot_prefix{eng.hierarchy().bottom(), hot};
+  for (const HhhCandidate& c : final_snap.output(0.2)) {
+    if (c.prefix == hot_prefix) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rhhh

@@ -375,6 +375,121 @@ TEST(LatticeHhhOutput, MstMatchesExactTruthOnSmallStream) {
   }
 }
 
+// --------------------------------------------------------------- merge ----
+
+TEST(LatticeMerge, MismatchedConfigurationsThrow) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  LatticeParams lp;
+  RhhhSpaceSaving base(h, LatticeMode::kRhhh, lp);
+
+  LatticeParams lp_v = lp;
+  lp_v.V = 250;  // unequal V: per-node estimates would not share a scale
+  RhhhSpaceSaving other_v(h, LatticeMode::kRhhh, lp_v);
+  EXPECT_FALSE(base.mergeable_with(other_v));
+  EXPECT_THROW(base.merge(other_v), std::invalid_argument);
+
+  RhhhSpaceSaving other_mode(h, LatticeMode::kMst, lp);
+  EXPECT_THROW(base.merge(other_mode), std::invalid_argument);
+
+  LatticeParams lp_r = lp;
+  lp_r.r = 2;
+  RhhhSpaceSaving other_r(h, LatticeMode::kRhhh, lp_r);
+  EXPECT_THROW(base.merge(other_r), std::invalid_argument);
+
+  const Hierarchy h1 = Hierarchy::ipv4_2d(Granularity::kNibble);
+  RhhhSpaceSaving other_h(h1, LatticeMode::kRhhh, lp);
+  EXPECT_THROW(base.merge(other_h), std::invalid_argument);
+
+  // Differing seeds are explicitly allowed (that is how shards are built).
+  LatticeParams lp_s = lp;
+  lp_s.seed = 777;
+  RhhhSpaceSaving other_s(h, LatticeMode::kRhhh, lp_s);
+  EXPECT_TRUE(base.mergeable_with(other_s));
+}
+
+TEST(LatticeMerge, StreamLengthsAndUpdatesAdd) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  RhhhSpaceSaving a(h, LatticeMode::kMst, lp);
+  RhhhSpaceSaving b(h, LatticeMode::kMst, lp);
+  for (int i = 0; i < 100; ++i) a.update(Key128::from_u32(ipv4(1, 2, 3, 4)));
+  for (int i = 0; i < 250; ++i) b.update(Key128::from_u32(ipv4(1, 2, 3, 4)));
+  a.merge(b);
+  EXPECT_EQ(a.stream_length(), 350u);
+  EXPECT_EQ(a.updates_performed(), 350u * h.size());
+  EXPECT_EQ(a.instance(0).upper(Key128::from_u32(ipv4(1, 2, 3, 4))), 350u);
+}
+
+/// Merging k disjoint sub-streams (of very unequal lengths) must satisfy
+/// the same accuracy and coverage bounds as one instance over the union:
+/// every exact HHH of the union covered, and every point estimate within
+/// eps_a * N + correction() of the truth, with N the merged stream length.
+TEST(LatticeMerge, DisjointSubstreamsMatchUnionBounds) {
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.02;
+  lp.delta = 0.05;
+
+  // Unequal split of a 300k-packet stream: 60% / 30% / 10%.
+  constexpr int kN = 300000;
+  const char* presets[3] = {"chicago16", "chicago15", "sanjose13"};
+  const int share[3] = {180000, 90000, 30000};
+
+  ExactHhh truth(h);
+  RhhhSpaceSaving union_alg(h, LatticeMode::kRhhh, lp);
+  std::vector<std::unique_ptr<RhhhSpaceSaving>> parts;
+  for (int s = 0; s < 3; ++s) {
+    LatticeParams lps = lp;
+    lps.seed = static_cast<std::uint64_t>(s + 10);
+    parts.push_back(
+        std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, lps));
+    TraceGenerator gen(trace_preset(presets[s]));
+    for (int i = 0; i < share[s]; ++i) {
+      const Key128 k = h.key_of(gen.next());
+      truth.add(k);
+      union_alg.update(k);
+      parts[static_cast<std::size_t>(s)]->update(k);
+    }
+  }
+
+  RhhhSpaceSaving merged(h, LatticeMode::kRhhh, lp);
+  for (const auto& part : parts) merged.merge(*part);
+  ASSERT_EQ(merged.stream_length(), static_cast<std::uint64_t>(kN));
+  ASSERT_EQ(merged.stream_length(), union_alg.stream_length());
+  // Same configuration => identical additive slack.
+  ASSERT_DOUBLE_EQ(merged.correction(), union_alg.correction());
+
+  const double theta = 0.1;
+  const HhhSet exact = truth.compute(theta);
+  ASSERT_GT(exact.size(), 0u);
+  const double bound = merged.eps_a() * kN + merged.correction();
+
+  const HhhSet merged_out = merged.output(theta);
+  const HhhSet union_out = union_alg.output(theta);
+  for (const HhhCandidate& c : exact) {
+    // Coverage: both the merged and the union instance report (or refine)
+    // every exact HHH...
+    for (const HhhSet* out : {&merged_out, &union_out}) {
+      bool covered = out->contains(c.prefix);
+      if (!covered) {
+        for (const HhhCandidate& o : *out) {
+          if (h.generalizes(c.prefix, o.prefix) ||
+              h.generalizes(o.prefix, c.prefix)) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(covered) << (out == &merged_out ? "merged" : "union")
+                           << " missing " << h.format(c.prefix);
+    }
+    // ... and the merged point estimates obey the union instance's
+    // accuracy bound around the exact count.
+    EXPECT_NEAR(merged.estimate(c.prefix), c.f_est, bound)
+        << h.format(c.prefix);
+  }
+}
+
 // ------------------------------------------------------------- TrieHhh ----
 
 TEST(TrieHhhTest, Validation) {

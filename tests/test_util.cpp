@@ -361,6 +361,74 @@ TEST(SpscRing, WrapAroundPreservesFifo) {
   EXPECT_GT(next_pop, 400u);
 }
 
+TEST(SpscRing, BatchPushPopRoundTrip) {
+  SpscRing<int> r(16);
+  int in[10];
+  for (int i = 0; i < 10; ++i) in[i] = i;
+  EXPECT_EQ(r.try_push_n(in, 10), 10u);
+  EXPECT_EQ(r.size_approx(), 10u);
+  int out[16] = {};
+  EXPECT_EQ(r.try_pop_n(out, 16), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(r.try_pop_n(out, 16), 0u);
+}
+
+TEST(SpscRing, BatchPushAcceptsPrefixWhenNearlyFull) {
+  SpscRing<int> r(8);  // usable capacity 7
+  int in[10];
+  for (int i = 0; i < 10; ++i) in[i] = i;
+  EXPECT_EQ(r.try_push_n(in, 10), 7u) << "accepts the prefix that fits";
+  EXPECT_EQ(r.try_push_n(in, 1), 0u) << "full ring rejects outright";
+  int out[8];
+  ASSERT_EQ(r.try_pop_n(out, 8), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscRing, BatchPopHonorsMax) {
+  SpscRing<int> r(16);
+  int in[12];
+  for (int i = 0; i < 12; ++i) in[i] = 100 + i;
+  ASSERT_EQ(r.try_push_n(in, 12), 12u);
+  int out[4];
+  EXPECT_EQ(r.try_pop_n(out, 4), 4u);
+  EXPECT_EQ(out[0], 100);
+  EXPECT_EQ(out[3], 103);
+  EXPECT_EQ(r.size_approx(), 8u);
+}
+
+TEST(SpscRing, BatchWrapAroundPreservesFifo) {
+  SpscRing<std::uint64_t> r(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::uint64_t in[5];
+  std::uint64_t out[5];
+  for (int round = 0; round < 500; ++round) {
+    for (std::size_t i = 0; i < 5; ++i) in[i] = next_push + i;
+    next_push += r.try_push_n(in, 5);
+    const std::size_t got = r.try_pop_n(out, 5);
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_GT(next_pop, 1000u);
+}
+
+TEST(SpscRing, BatchMixesWithSingleOps) {
+  SpscRing<int> r(16);
+  int in[3] = {1, 2, 3};
+  ASSERT_EQ(r.try_push_n(in, 3), 3u);
+  ASSERT_TRUE(r.try_push(4));
+  int v = 0;
+  ASSERT_TRUE(r.try_pop(v));
+  EXPECT_EQ(v, 1);
+  int out[8];
+  ASSERT_EQ(r.try_pop_n(out, 8), 3u);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[2], 4);
+}
+
 TEST(SpscRing, ProducerConsumerThreads) {
   constexpr std::uint64_t kCount = 200000;
   SpscRing<std::uint64_t> r(1024);
@@ -385,6 +453,37 @@ TEST(SpscRing, ProducerConsumerThreads) {
   consumer.join();
   EXPECT_EQ(n_consumed, kCount);
   EXPECT_EQ(sum_consumed, kCount * (kCount - 1) / 2);
+}
+
+/// Threaded FIFO check for the batched API: a producer pushing in batches
+/// and a consumer popping in (differently sized) batches must still observe
+/// exactly the pushed sequence.
+TEST(SpscRing, BatchProducerConsumerThreads) {
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> r(512);
+  std::thread consumer([&] {
+    std::uint64_t out[48];
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+      const std::size_t got = r.try_pop_n(out, 48);
+      for (std::size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], expected);
+        ++expected;
+      }
+      if (got == 0) std::this_thread::yield();
+    }
+  });
+  std::uint64_t in[32];
+  std::uint64_t next = 0;
+  while (next < kCount) {
+    const std::size_t want =
+        std::min<std::uint64_t>(32, kCount - next);
+    for (std::size_t i = 0; i < want; ++i) in[i] = next + i;
+    const std::size_t sent = r.try_push_n(in, want);
+    next += sent;
+    if (sent == 0) std::this_thread::yield();
+  }
+  consumer.join();
 }
 
 }  // namespace

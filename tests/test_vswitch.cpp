@@ -251,9 +251,33 @@ TEST(DistributedTest, CountsRingDropsWhenConsumerStalls) {
   p.src_ip = ipv4(1, 2, 3, 4);
   for (int i = 0; i < 1000; ++i) dist.on_packet(p);
   EXPECT_GT(dist.drops(), 900u);
+  const DistributedMeasurement::Stats before = dist.stats();
+  EXPECT_EQ(before.offered, 1000u);
+  EXPECT_EQ(before.drops, dist.drops());
+  EXPECT_GT(before.drop_rate, 0.9);
   dist.start();
   dist.stop();
   EXPECT_GT(dist.algorithm().updates_performed(), 0u);
+  const DistributedMeasurement::Stats after = dist.stats();
+  EXPECT_EQ(after.forwarded + after.drops, 1000u);
+  EXPECT_NEAR(after.drop_rate,
+              static_cast<double>(after.drops) / 1000.0, 1e-12);
+}
+
+TEST(DistributedTest, LosslessRunHasZeroDropRate) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  DistributedMeasurement dist(h, lp, 1 << 16);
+  dist.start();
+  PacketRecord p;
+  p.src_ip = ipv4(9, 8, 7, 6);
+  for (int i = 0; i < 20000; ++i) dist.on_packet(p);
+  dist.stop();
+  const DistributedMeasurement::Stats s = dist.stats();
+  EXPECT_EQ(s.offered, 20000u);
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_DOUBLE_EQ(s.drop_rate, 0.0);
+  EXPECT_EQ(s.forwarded, dist.algorithm().updates_performed());
 }
 
 }  // namespace
