@@ -1,0 +1,166 @@
+// Ablation: windowed-engine throughput and burst-detection latency vs
+// worker count vs epoch size.
+//
+// The paper's motivating scenario (Section 1, realtime DDoS detection) at
+// engine scale: W producer threads feed W worker shards of a windowed
+// HhhEngine, with a burst planted at 60% of the stream (30% of subsequent
+// traffic toward one /16 -> victim pair). The driver closes a window epoch
+// every `epoch` records via rotate_epoch() and probes the two-window
+// snapshot's emerging() every quarter epoch -- deterministic stream-position
+// pacing, so the detection-latency column is reproducible on any host and
+// core count (the wall/packet coordinator clock of EngineConfig is
+// exercised by tests/test_engine.cpp and examples/ddos_burst_demo instead;
+// a busy single-core host schedules it too coarsely to pace a benchmark).
+//
+// Columns: ingest throughput (Mpps, lossless blocking overflow, clock from
+// first push until every record is consumed, rotation + probe quiesces
+// included), detection latency in packets past burst start (kpkt), windows
+// closed, drops. Smaller epochs detect sooner but quiesce more often; more
+// workers push Mpps up until transport (or the host's core count) binds.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "engine/engine.hpp"
+#include "net/ipv4.hpp"
+#include "util/random.hpp"
+
+using namespace rhhh;
+using namespace rhhh::bench;
+
+int main(int argc, char** argv) {
+  Args args = Args::parse(argc, argv);
+  print_figure_header(
+      "Window scaling",
+      "Windowed engine: throughput + burst detection latency vs workers vs "
+      "epoch size, 2D bytes",
+      args);
+
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const auto n = static_cast<std::size_t>(4e6 * args.scale);
+  const std::vector<Key128>& keys = trace_keys(h, "chicago16", n);
+  const std::size_t burst_start = n * 6 / 10;
+  const Ipv4 attack_net = ipv4(66, 66, 0, 0);
+  const Ipv4 victim = ipv4(203, 0, 113, 9);
+  const Prefix attack_bottom{h.bottom(),
+                             Key128::from_pair(attack_net | 0x0102u, victim)};
+  // A burst whose onset straddles a window boundary leaves part of itself
+  // in the sealed window, capping the observable growth ratio near 2x in
+  // the worst alignment -- so the alarm uses 2x growth plus an absolute
+  // share floor, which together still reject the stable background.
+  const double growth = 2.0;
+
+  print_row({"workers", "epoch/n", "Mpps (95% CI)", "detect kpkt", "windows",
+             "drops"});
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    for (const std::size_t div : {16u, 4u}) {
+      const std::size_t epoch = std::max<std::size_t>(n / div, 4);
+      const std::size_t chunk = std::max<std::size_t>(epoch / 4, 1);
+      RunningStats mpps;
+      int detected_runs = 0;
+      std::uint64_t latency_sum = 0;  ///< over detected runs
+      std::uint64_t windows = 0;
+      std::uint64_t drops = 0;
+      for (int r = 0; r < args.runs; ++r) {
+        EngineConfig cfg;
+        cfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+        cfg.monitor.algorithm = AlgorithmKind::kRhhh;
+        cfg.monitor.eps = args.eps;
+        cfg.monitor.delta = args.delta;
+        cfg.monitor.seed = args.seed + static_cast<std::uint64_t>(r);
+        cfg.workers = workers;
+        cfg.producers = workers;
+        cfg.ring_capacity = 1 << 16;
+        cfg.batch = 256;
+        cfg.overflow = OverflowPolicy::kBlock;  // lossless: Mpps counts real work
+        const std::unique_ptr<HhhEngine> eng = make_engine(cfg);
+        eng->start();
+
+        bool run_detected = false;
+        std::uint64_t run_latency = 0;
+        const auto probe = [&](std::size_t processed) {
+          if (run_detected) return;
+          const WindowedEngineSnapshot snap = eng->window_snapshot();
+          if (!snap.has_previous()) return;
+          for (const EmergingPrefix& e : snap.emerging(args.theta, growth)) {
+            if (e.share_now > 0.15 && e.growth() >= growth &&
+                h.generalizes(e.now.prefix, attack_bottom)) {
+              run_detected = true;
+              run_latency = processed > burst_start ? processed - burst_start : 0;
+              break;
+            }
+          }
+        };
+
+        const double t0 = now_sec();
+        // Chunked ingest: W producer threads per quarter-epoch slice, a
+        // probe after every slice, a rotation after every full epoch.
+        std::size_t next_rotate = epoch;
+        for (std::size_t lo = 0; lo < keys.size(); lo += chunk) {
+          const std::size_t hi = std::min(lo + chunk, keys.size());
+          std::vector<std::thread> producers;
+          for (std::uint32_t p = 0; p < workers; ++p) {
+            producers.emplace_back([&, p] {
+              HhhEngine::Producer& prod = eng->producer(p);
+              Xoroshiro128 rng(args.seed * 97 + lo * 31 + p);
+              const std::size_t plo = lo + (hi - lo) * p / workers;
+              const std::size_t phi = lo + (hi - lo) * (p + 1) / workers;
+              for (std::size_t i = plo; i < phi; ++i) {
+                if (i >= burst_start && rng.bounded(10) < 3) {
+                  prod.ingest(Key128::from_pair(attack_net | rng.bounded(1 << 16),
+                                                victim));
+                } else {
+                  prod.ingest(keys[i]);
+                }
+              }
+              prod.flush();
+            });
+          }
+          for (std::thread& t : producers) t.join();
+          // Probe BEFORE sealing: the live window is fullest (and the
+          // sealed one oldest) right at the boundary -- the best moment for
+          // the straddling-onset case.
+          probe(hi);
+          if (hi >= next_rotate) {
+            eng->rotate_epoch();
+            next_rotate += epoch;
+          }
+        }
+        eng->stop();
+        const double dt = now_sec() - t0;
+        mpps.add(static_cast<double>(keys.size()) / dt / 1e6);
+
+        const EngineStats st = eng->stats();
+        if (run_detected) {
+          ++detected_runs;
+          latency_sum += run_latency;
+        }
+        windows = st.window_epochs;  // deterministic per run
+        drops = st.dropped;          // last run, same basis as windows
+      }
+      // Mean latency over the runs that detected; a partial hit rate is
+      // called out rather than silently reporting one arbitrary run.
+      std::string detect_cell = "miss";
+      if (detected_runs > 0) {
+        detect_cell = fmt(static_cast<double>(latency_sum) /
+                          static_cast<double>(detected_runs) / 1e3);
+        if (detected_runs < args.runs) {
+          detect_cell += " (" + std::to_string(detected_runs) + "/" +
+                         std::to_string(args.runs) + ")";
+        }
+      }
+      print_row({std::to_string(workers),
+                 xcell(std::string("1/") + std::to_string(div)), ci_cell(mpps),
+                 detect_cell, std::to_string(windows), std::to_string(drops)});
+    }
+  }
+  std::printf(
+      "\n(expected shape: Mpps tracks the non-windowed engine ablation while\n"
+      " cores last [this host: %u hardware threads]; fine epochs [1/16 of the\n"
+      " stream] flag the planted burst after fewer packets than coarse ones\n"
+      " [1/4], at the cost of 4x the rotation quiesces)\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

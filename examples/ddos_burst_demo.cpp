@@ -1,0 +1,152 @@
+// Windowed change detection at engine scale: the paper's Section 1
+// motivation (realtime DDoS detection) run end to end on the sharded
+// multi-core engine.
+//
+// Two producer threads feed four worker shards with heavy-tailed backbone
+// traffic (trace_gen presets). The engine's coordinator packet clock
+// rotates every shard's live/sealed lattice pair each `epoch` records.
+// At 60% of the stream an attack ramps up: 25% of subsequent packets flood
+// one victim from scattered sources inside 66.66.0.0/16. A collector loop
+// polls window_epochs() and, after each rotation, asks the two-window
+// snapshot for emerging() aggregates -- prefixes heavy *now* that grew
+// >= 3x vs the sealed previous window. The flood's /16 aggregate trips the
+// alarm; the steady backbone heavy hitters never do.
+//
+// Run:  ./ddos_burst_demo [packets] [epoch]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "engine/engine.hpp"
+#include "net/ipv4.hpp"
+#include "trace/trace_gen.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t packets =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+  const std::uint64_t epoch =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : packets / 16;
+  const double theta = 0.1;
+  const double growth = 3.0;
+
+  rhhh::EngineConfig cfg;
+  cfg.monitor.hierarchy = rhhh::HierarchyKind::kIpv4TwoDimBytes;
+  cfg.monitor.algorithm = rhhh::AlgorithmKind::kRhhh;
+  // Windowed deployments must size eps so the convergence bound psi
+  // (Theorem 6.17) fits inside ONE window, not the lifetime stream --
+  // each window's queries stand alone (cf. WindowedHhhMonitor's
+  // converged_epoch()). eps = 0.08 puts psi ~ 37k packets for 2D bytes.
+  cfg.monitor.eps = 0.08;
+  cfg.monitor.delta = 0.05;
+  cfg.workers = 4;
+  cfg.producers = 2;
+  cfg.epoch_packets = epoch;  // the coordinator clock drives the windows
+  const std::unique_ptr<rhhh::HhhEngine> eng = rhhh::make_engine(cfg);
+  const rhhh::Hierarchy& h = eng->hierarchy();
+  eng->start();
+  std::printf(
+      "windowed engine: %u producers -> %u shards, epoch = %llu packets "
+      "(psi = %.0f; epoch must exceed it)\n"
+      "burst: 25%% of traffic from 66.66.0.0/16 -> one victim, starting at "
+      "60%% of %zu packets\n\n",
+      eng->producers(), eng->workers(), static_cast<unsigned long long>(epoch),
+      eng->shard(0).psi(), packets);
+
+  const rhhh::Ipv4 attack_net = rhhh::ipv4(66, 66, 0, 0);
+  const rhhh::Ipv4 victim = rhhh::ipv4(203, 0, 113, 9);
+  const std::size_t burst_start = packets * 6 / 10;
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      rhhh::HhhEngine::Producer& prod = eng->producer(p);
+      rhhh::TraceGenerator gen(
+          rhhh::trace_preset(p == 0 ? "chicago16" : "sanjose14"));
+      rhhh::Xoroshiro128 rng(4242 + p);
+      const std::size_t share = packets / 2;
+      for (std::size_t i = 0; i < share; ++i) {
+        // Producers advance in lockstep through the global stream position,
+        // so the burst switches on for both at the same wall-clock point.
+        const std::size_t global = i * 2 + p;
+        if (global >= burst_start && rng.bounded(100) < 25) {
+          prod.ingest(rhhh::Key128::from_pair(attack_net | rng.bounded(1 << 16),
+                                              victim));
+        } else {
+          prod.ingest(h.key_of(gen.next()));
+        }
+      }
+      prod.flush();
+    });
+  }
+
+  // The collector: probe the two-window view every few milliseconds --
+  // detection must not wait for the attacked window to be sealed. Alarms
+  // only fire once the live window is at least a quarter full (a fresh
+  // window of a handful of packets estimates shares too noisily), and each
+  // emerging prefix is announced once per window.
+  const rhhh::Prefix attack_bottom{
+      h.bottom(), rhhh::Key128::from_pair(attack_net | 0x0102u, victim)};
+  bool detected = false;
+  std::uint64_t offered = 0;
+  std::uint64_t seen_windows = 0;
+  std::set<std::string> announced;
+  const auto probe = [&](const rhhh::WindowedEngineSnapshot& snap) {
+    if (!snap.has_previous() || snap.current_length() < epoch / 4) return;
+    for (const rhhh::EmergingPrefix& e : snap.emerging(theta, growth)) {
+      // Candidates below half the threshold ride in on the randomized
+      // modes' conditioned-frequency slack; skip the noise.
+      if (e.share_now < theta / 2) continue;
+      std::string name = h.format(e.now.prefix);
+      if (!announced.insert(name).second) continue;
+      const bool is_attack = h.generalizes(e.now.prefix, attack_bottom);
+      char gbuf[32];
+      if (std::isinf(e.growth())) {
+        std::snprintf(gbuf, sizeof gbuf, "new");
+      } else {
+        std::snprintf(gbuf, sizeof gbuf, "x%.1f", e.growth());
+      }
+      std::printf(
+          "  EMERGING in window %llu: %-30s %5.1f%% of window (was %4.1f%%, "
+          "%s)%s\n",
+          static_cast<unsigned long long>(snap.window_epochs() + 1),
+          name.c_str(), 100.0 * e.share_now, 100.0 * e.previous_share, gbuf,
+          is_attack ? "  <-- planted burst" : "");
+      if (is_attack && e.share_now > 0.15) detected = true;
+    }
+  };
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::uint64_t w = eng->window_epochs();
+    if (w > seen_windows) {
+      seen_windows = w;
+      announced.clear();
+      std::printf("window %llu sealed\n", static_cast<unsigned long long>(w));
+    }
+    probe(eng->window_snapshot());
+    offered = eng->producer(0).offered() + eng->producer(1).offered();
+  } while (offered < 2 * (packets / 2));  // each producer ingests packets/2
+  for (std::thread& t : producers) t.join();
+  eng->stop();
+
+  // Final look: the tail of the burst sits in the last (partial) window.
+  probe(eng->window_snapshot());
+
+  const rhhh::EngineStats s = eng->stats();
+  std::printf(
+      "\n%s after %llu windows (consumed=%llu dropped=%llu)\n"
+      "The alarm keys off *growth*: the backbone's stable heavy hitters\n"
+      "carry a similar share in both windows and stay quiet; only the\n"
+      "flood's aggregates emerge.\n",
+      detected ? "BURST DETECTED" : "burst NOT detected",
+      static_cast<unsigned long long>(s.window_epochs),
+      static_cast<unsigned long long>(s.consumed),
+      static_cast<unsigned long long>(s.dropped));
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/epoch_pair.hpp"
+
+#include <algorithm>
+
+namespace rhhh {
+
+std::vector<EmergingPrefix> emerging_from(const HhhAlgorithm& now,
+                                          const HhhAlgorithm* before, double theta,
+                                          double growth_factor) {
+  std::vector<EmergingPrefix> out;
+  const std::uint64_t n_now = now.stream_length();
+  if (n_now == 0) return out;
+  const bool have_before = before != nullptr && before->stream_length() != 0;
+  const double n_before =
+      have_before ? static_cast<double>(before->stream_length()) : 1.0;
+
+  for (const HhhCandidate& c : now.output(theta)) {
+    const double share_now = c.f_est / static_cast<double>(n_now);
+    double share_before = 0.0;
+    if (have_before) {
+      // Probe the sealed epoch's point estimate directly rather than its
+      // HHH *set*: conditioned-frequency admission can exclude an ancestor
+      // whose mass sat in admitted descendants, which would misreport a
+      // steadily heavy aggregate as brand new. The estimate is at least
+      // output()'s own f_hi for the prefix, so growth is understated
+      // rather than inflated (the conservative direction for alarms) up to
+      // each algorithm's estimation guarantee.
+      share_before =
+          std::min(before->estimate(c.prefix) / n_before, 1.0);
+    }
+    if (share_before <= 0.0 || share_now / share_before >= growth_factor) {
+      out.push_back(EmergingPrefix{c, share_before, share_now});
+    }
+  }
+  return out;
+}
+
+}  // namespace rhhh

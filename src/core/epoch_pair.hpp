@@ -1,0 +1,89 @@
+// Epoch rotation primitives shared by the single-threaded
+// WindowedHhhMonitor (core/windowed.hpp) and the sharded engine's windowed
+// snapshot path (engine/engine.hpp): a live/sealed pair of
+// same-configuration HHH instances that swap at epoch boundaries, plus the
+// emerging-aggregate comparison between the two epochs.
+//
+// The paper's algorithms are interval-oblivious; pairing two instances and
+// rotating is the standard deployment pattern for change detection (the
+// DDoS motivation of Section 1). Keeping the rotation and the growth math
+// in one place means the monitor and the multi-core engine report the same
+// "emerging" semantics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hhh/hhh_types.hpp"
+
+namespace rhhh {
+
+/// A prefix that is heavy now and grew (or appeared) since the last epoch.
+struct EmergingPrefix {
+  HhhCandidate now;       ///< the candidate in the current epoch
+  double previous_share;  ///< its share in the previous epoch (0 if absent)
+  double share_now;       ///< estimated share in the current epoch
+  /// Share growth vs the previous epoch; a prefix with no previous-epoch
+  /// mass is explicitly infinite growth (it is brand new), never a huge
+  /// finite ratio against a denominator sentinel.
+  [[nodiscard]] double growth() const noexcept {
+    return previous_share <= 0.0 ? std::numeric_limits<double>::infinity()
+                                 : share_now / previous_share;
+  }
+};
+
+/// A live/sealed pair of epoch instances. `Alg` is any type with `clear()`
+/// (HhhAlgorithm for the monitor, LatticeHhh for the engine shards). The
+/// pair starts with zero completed epochs: `sealed_or_null()` is nullptr
+/// until the first rotate() so "no previous epoch" is distinguishable from
+/// "an empty previous epoch".
+template <class Alg>
+class EpochPair {
+ public:
+  EpochPair() = default;
+  EpochPair(std::unique_ptr<Alg> live, std::unique_ptr<Alg> sealed)
+      : live_(std::move(live)), sealed_(std::move(sealed)) {}
+
+  /// Seal the live epoch and start a fresh one: swap the instances and
+  /// clear the new live one. O(counters) for the clear, no allocation.
+  void rotate() {
+    std::swap(live_, sealed_);
+    live_->clear();
+    ++epochs_;
+  }
+
+  [[nodiscard]] Alg& live() noexcept { return *live_; }
+  [[nodiscard]] const Alg& live() const noexcept { return *live_; }
+  [[nodiscard]] Alg& sealed() noexcept { return *sealed_; }
+  [[nodiscard]] const Alg& sealed() const noexcept { return *sealed_; }
+  /// The sealed instance, or nullptr before the first rotation.
+  [[nodiscard]] const Alg* sealed_or_null() const noexcept {
+    return epochs_ == 0 ? nullptr : sealed_.get();
+  }
+  /// Completed (sealed) epochs so far.
+  [[nodiscard]] std::uint64_t epochs_completed() const noexcept { return epochs_; }
+
+ private:
+  std::unique_ptr<Alg> live_;
+  std::unique_ptr<Alg> sealed_;
+  std::uint64_t epochs_ = 0;
+};
+
+/// Prefixes that are HHH in `now` (at threshold theta) and whose share of
+/// the stream grew by >= growth_factor since `before` (nullptr or an empty
+/// instance: every current HHH is emerging with infinite growth). The
+/// previous epoch is probed through HhhAlgorithm::estimate -- a direct
+/// per-prefix upper bound -- not through its HHH set, so an aggregate that
+/// was heavy before but conditioned out of the previous set still gets its
+/// true previous share. Shares are estimates relative to each epoch's own
+/// stream length; previous shares are upper bounds (growth is understated,
+/// the conservative direction for alarms).
+[[nodiscard]] std::vector<EmergingPrefix> emerging_from(const HhhAlgorithm& now,
+                                                        const HhhAlgorithm* before,
+                                                        double theta,
+                                                        double growth_factor);
+
+}  // namespace rhhh

@@ -88,6 +88,16 @@ struct EngineConfig {
   std::size_t batch = 64;             ///< producer-side flush batch size
   ShardPolicy policy = ShardPolicy::kKeyHash;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+
+  // -- windowed change detection (HhhEngine::window_snapshot) ---------------
+  /// >0: the coordinator clock closes a window epoch once roughly this many
+  /// records have been processed (consumed or dropped) since the last
+  /// boundary. 0 disables the packet clock.
+  std::uint64_t epoch_packets = 0;
+  /// >0: the coordinator clock closes a window epoch every this many
+  /// wall-clock milliseconds. 0 disables the wall clock. Either clock (or
+  /// manual HhhEngine::rotate_epoch() calls) drives the same rotation.
+  std::uint32_t epoch_millis = 0;
 };
 
 class HhhEngine;  // engine/engine.hpp

@@ -1,7 +1,6 @@
 #include "core/windowed.hpp"
 
 #include <stdexcept>
-#include <utility>
 
 namespace rhhh {
 
@@ -12,63 +11,41 @@ WindowedHhhMonitor::WindowedHhhMonitor(MonitorConfig cfg, std::uint64_t epoch_pa
   if (epoch_packets == 0) {
     throw std::invalid_argument("WindowedHhhMonitor: epoch_packets must be > 0");
   }
-  current_ = make_algorithm(*hierarchy_, cfg_);
   MonitorConfig prev_cfg = cfg_;
   prev_cfg.seed = cfg_.seed + 1;  // independent randomness per instance
-  previous_ = make_algorithm(*hierarchy_, prev_cfg);
+  pair_ = EpochPair<HhhAlgorithm>(make_algorithm(*hierarchy_, cfg_),
+                                  make_algorithm(*hierarchy_, prev_cfg));
 }
 
 void WindowedHhhMonitor::maybe_rotate() {
-  if (current_->stream_length() < epoch_packets_) return;
-  std::swap(current_, previous_);
-  current_->clear();
-  ++epochs_;
+  if (pair_.live().stream_length() < epoch_packets_) return;
+  pair_.rotate();
 }
 
 void WindowedHhhMonitor::update(const PacketRecord& p) {
-  current_->update(hierarchy_->key_of(p));
+  pair_.live().update(hierarchy_->key_of(p));
   maybe_rotate();
 }
 
 void WindowedHhhMonitor::update(Ipv4 src, Ipv4 dst) {
-  current_->update(hierarchy_->dims() == 2 ? Key128::from_pair(src, dst)
-                                           : Key128::from_u32(src));
+  pair_.live().update(hierarchy_->dims() == 2 ? Key128::from_pair(src, dst)
+                                              : Key128::from_u32(src));
   maybe_rotate();
 }
 
 HhhSet WindowedHhhMonitor::current(double theta) const {
-  return current_->output(theta);
+  return pair_.live().output(theta);
 }
 
 HhhSet WindowedHhhMonitor::previous(double theta) const {
-  if (epochs_ == 0) return HhhSet(hierarchy_->size());
-  return previous_->output(theta);
+  const HhhAlgorithm* sealed = pair_.sealed_or_null();
+  if (sealed == nullptr) return HhhSet(hierarchy_->size());
+  return sealed->output(theta);
 }
 
 std::vector<EmergingPrefix> WindowedHhhMonitor::emerging(double theta,
                                                          double growth_factor) const {
-  std::vector<EmergingPrefix> out;
-  const std::uint64_t n_now = current_->stream_length();
-  if (n_now == 0) return out;
-  const HhhSet now = current_->output(theta);
-  // The previous epoch is queried at a *lower* threshold so that a prefix
-  // that was merely warm before (below theta but measurable) still gets a
-  // meaningful previous-share instead of "absent".
-  const HhhSet before = previous(theta / growth_factor);
-  const auto n_before =
-      static_cast<double>(epochs_ == 0 ? 1 : previous_->stream_length());
-
-  for (const HhhCandidate& c : now) {
-    const double share_now = c.f_est / static_cast<double>(n_now);
-    double share_before = 0.0;
-    if (const HhhCandidate* b = before.find(c.prefix)) {
-      share_before = b->f_est / n_before;
-    }
-    if (share_before <= 0.0 || share_now / share_before >= growth_factor) {
-      out.push_back(EmergingPrefix{c, share_before, share_now});
-    }
-  }
-  return out;
+  return emerging_from(pair_.live(), pair_.sealed_or_null(), theta, growth_factor);
 }
 
 }  // namespace rhhh

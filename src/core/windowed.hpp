@@ -4,29 +4,22 @@
 // not lifetime totals: a /16 that always carries 10% of traffic is
 // backbone weather; one that jumps from 0.5% to 10% inside an epoch is an
 // event. This monitor keeps two same-configuration HHH instances -- the
-// live epoch and the sealed previous epoch -- rotates them every
-// `epoch_packets` updates, and reports "emerging" aggregates: prefixes
-// heavy now whose share grew by at least `growth_factor` since the last
-// epoch. (The paper's own HHH algorithms are interval-oblivious; epoch
-// rotation is the standard deployment pattern around them.)
+// live epoch and the sealed previous epoch (core/epoch_pair.hpp) -- rotates
+// them every `epoch_packets` updates, and reports "emerging" aggregates:
+// prefixes heavy now whose share grew by at least `growth_factor` since the
+// last epoch. For the same semantics at multi-core scale, see the engine's
+// windowed snapshot path (engine/engine.hpp, rotate_epoch /
+// window_snapshot).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/epoch_pair.hpp"
 #include "core/monitor.hpp"
 
 namespace rhhh {
-
-struct EmergingPrefix {
-  HhhCandidate now;       ///< the candidate in the current epoch
-  double previous_share;  ///< its share in the previous epoch (0 if absent)
-  double share_now;       ///< estimated share in the current epoch
-  [[nodiscard]] double growth() const noexcept {
-    return previous_share <= 0.0 ? share_now / 1e-9 : share_now / previous_share;
-  }
-};
 
 class WindowedHhhMonitor {
  public:
@@ -49,14 +42,16 @@ class WindowedHhhMonitor {
   [[nodiscard]] std::vector<EmergingPrefix> emerging(double theta,
                                                      double growth_factor) const;
 
-  [[nodiscard]] std::uint64_t epochs_completed() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t epochs_completed() const noexcept {
+    return pair_.epochs_completed();
+  }
   [[nodiscard]] std::uint64_t epoch_packets() const noexcept { return epoch_packets_; }
   [[nodiscard]] std::uint64_t packets_in_epoch() const noexcept {
-    return current_->stream_length();
+    return pair_.live().stream_length();
   }
   [[nodiscard]] bool converged_epoch() const noexcept {
-    return current_->psi() == 0.0 ||
-           static_cast<double>(epoch_packets_) > current_->psi();
+    return pair_.live().psi() == 0.0 ||
+           static_cast<double>(epoch_packets_) > pair_.live().psi();
   }
   [[nodiscard]] const Hierarchy& hierarchy() const noexcept { return *hierarchy_; }
 
@@ -65,10 +60,8 @@ class WindowedHhhMonitor {
 
   MonitorConfig cfg_;
   std::uint64_t epoch_packets_;
-  std::uint64_t epochs_ = 0;
   std::unique_ptr<Hierarchy> hierarchy_;
-  std::unique_ptr<HhhAlgorithm> current_;
-  std::unique_ptr<HhhAlgorithm> previous_;
+  EpochPair<HhhAlgorithm> pair_;
 };
 
 }  // namespace rhhh

@@ -35,23 +35,28 @@ void HhhEngine::Producer::flush_worker(std::uint32_t w) {
   }
   if (b.empty()) return;
   SpscRing<Key128>& ring = eng_->ring(id_, w);
+  const std::size_t idx = id_ * eng_->workers() + w;
   const Key128* data = b.data();
   std::size_t left = b.size();
+  std::size_t pushed = 0;
   while (left != 0) {
     const std::size_t sent = ring.try_push_n(data, left);
     data += sent;
     left -= sent;
+    pushed += sent;
     if (left == 0) break;
     // Lossless only while workers are consuming; a stopped engine turns
     // kBlock into drop-tail rather than spinning forever.
     if (eng_->cfg_.overflow == OverflowPolicy::kDropTail ||
         !eng_->running_.load(std::memory_order_acquire)) {
-      eng_->ring_dropped_[id_ * eng_->workers() + w]->fetch_add(
-          left, std::memory_order_relaxed);
+      eng_->ring_dropped_[idx]->fetch_add(left, std::memory_order_relaxed);
       break;
     }
     eng_->backpressure_[id_]->fetch_add(1, std::memory_order_relaxed);
     std::this_thread::yield();
+  }
+  if (pushed != 0) {
+    eng_->ring_pushed_[idx]->fetch_add(pushed, std::memory_order_relaxed);
   }
   b.clear();
 }
@@ -75,15 +80,23 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   workers_.reserve(cfg.workers);
   for (std::uint32_t w = 0; w < cfg.workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
-    ws->lattice = make_shard_lattice(0x5eed0000ULL + w);
+    // Live and sealed sides of the window pair get distinct RNG streams;
+    // both stay merge-compatible with every other shard by construction.
+    ws->pair = EpochPair<RhhhSpaceSaving>(make_shard_lattice(0x5eed0000ULL + w),
+                                          make_shard_lattice(0x5eed2000ULL + w));
     workers_.push_back(std::move(ws));
   }
-  rings_.reserve(std::size_t{cfg.producers} * cfg.workers);
-  ring_dropped_.reserve(std::size_t{cfg.producers} * cfg.workers);
+  const std::size_t n_rings = std::size_t{cfg.producers} * cfg.workers;
+  rings_.reserve(n_rings);
+  ring_dropped_.reserve(n_rings);
+  ring_pushed_.reserve(n_rings);
+  ring_popped_.reserve(n_rings);
   for (std::uint32_t p = 0; p < cfg.producers; ++p) {
     for (std::uint32_t w = 0; w < cfg.workers; ++w) {
       rings_.push_back(std::make_unique<SpscRing<Key128>>(cfg.ring_capacity));
       ring_dropped_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+      ring_pushed_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+      ring_popped_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
     }
     backpressure_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
   }
@@ -91,6 +104,9 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   for (std::uint32_t p = 0; p < cfg.producers; ++p) {
     producers_.push_back(std::unique_ptr<Producer>(new Producer(this, p)));
   }
+  win_started_ns_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
 }
 
 HhhEngine::~HhhEngine() { stop(); }
@@ -105,17 +121,25 @@ std::unique_ptr<RhhhSpaceSaving> HhhEngine::make_shard_lattice(
 }
 
 void HhhEngine::start() {
-  // snap_mu_ serializes all control ops (start/stop/snapshot) so a
+  // snap_mu_ serializes all control ops (start/stop/snapshot/rotate) so a
   // no-quiesce snapshot can never overlap freshly spawned workers.
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
   if (running_.exchange(true)) return;
   for (std::uint32_t w = 0; w < workers(); ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
   }
+  if (windowed()) {
+    win_started_ns_.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+    win_processed_base_.store(processed_total(), std::memory_order_relaxed);
+    const std::uint64_t gen = clock_gen_.load(std::memory_order_relaxed);
+    clock_thread_ = std::thread([this, gen] { clock_loop(gen); });
+  }
 }
 
 void HhhEngine::stop() {
-  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  std::unique_lock<std::mutex> snap_lk(snap_mu_);
   if (!running_.exchange(false)) return;
   {
     std::lock_guard<std::mutex> lk(ctl_mu_);
@@ -133,14 +157,26 @@ void HhhEngine::stop() {
     while (drain_pass(w, batch) != 0) {
     }
   }
+  // Retire the clock generation and take its handle while still under
+  // snap_mu_ (so a concurrent start() never assigns over a joinable
+  // thread), but join OUTSIDE the lock: the clock may be blocked on
+  // snap_mu_ for a rotation, and the stale generation token makes it exit
+  // without rotating as soon as it gets through.
+  clock_gen_.fetch_add(1, std::memory_order_release);
+  std::thread clock = std::move(clock_thread_);
+  snap_lk.unlock();
+  if (clock.joinable()) clock.join();
 }
 
 std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
   WorkerState& ws = *workers_[w];
+  RhhhSpaceSaving& lattice = ws.pair.live();
   std::size_t total = 0;
   for (std::uint32_t p = 0; p < producers(); ++p) {
     const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
-    for (std::size_t i = 0; i < n; ++i) ws.lattice->update(batch[i]);
+    if (n == 0) continue;
+    for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+    ring_popped_[p * workers_.size() + w]->fetch_add(n, std::memory_order_relaxed);
     total += n;
   }
   if (total != 0) ws.consumed.fetch_add(total, std::memory_order_relaxed);
@@ -156,20 +192,28 @@ void HhhEngine::worker_loop(std::uint32_t w) {
     const std::uint64_t e = epoch_req_.load(std::memory_order_acquire);
     if (e > acked) {
       // Epoch boundary: consume exactly the backlog visible in each ring at
-      // this instant, then ack and park until the coordinator has merged
-      // this shard's lattice. Bounding the drain by the observed size keeps
-      // quiesce terminating even while producers keep pushing -- later
-      // arrivals simply belong to the next epoch.
+      // this instant, then ack and park until the coordinator is done with
+      // this shard's lattices (merging, or rotating the window pair).
+      // Bounding the drain by the observed size keeps quiesce terminating
+      // even while producers keep pushing -- later arrivals simply belong
+      // to the next epoch.
+      RhhhSpaceSaving& lattice = ws.pair.live();
       for (std::uint32_t p = 0; p < producers(); ++p) {
         SpscRing<Key128>& r = ring(p, w);
         std::size_t left = r.size_approx();
+        std::uint64_t popped = 0;
         while (left != 0) {
           const std::size_t n =
               r.try_pop_n(batch.data(), std::min(batch.size(), left));
           if (n == 0) break;
-          for (std::size_t i = 0; i < n; ++i) ws.lattice->update(batch[i]);
+          for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
           ws.consumed.fetch_add(n, std::memory_order_relaxed);
+          popped += n;
           left -= n;
+        }
+        if (popped != 0) {
+          ring_popped_[p * workers_.size() + w]->fetch_add(
+              popped, std::memory_order_relaxed);
         }
       }
       std::unique_lock<std::mutex> lk(ctl_mu_);
@@ -194,6 +238,51 @@ void HhhEngine::worker_loop(std::uint32_t w) {
   }
 }
 
+void HhhEngine::clock_loop(std::uint64_t gen) {
+  // The coordinator clock: meters the packet/wall budget lock-free, and
+  // only takes snap_mu_ when a rotation is actually due -- a stream of
+  // concurrent snapshots must not starve the clock, and an idle clock must
+  // not contend with them. A stale generation token (this thread has been
+  // retired by stop(), possibly with a successor already running) exits
+  // without touching anything.
+  const auto due_now = [&] {
+    if (cfg_.epoch_packets > 0 &&
+        processed_total() - win_processed_base_.load(std::memory_order_relaxed) >=
+            cfg_.epoch_packets) {
+      return true;
+    }
+    if (cfg_.epoch_millis > 0) {
+      const std::int64_t now_ns =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      if (now_ns - win_started_ns_.load(std::memory_order_relaxed) >=
+          static_cast<std::int64_t>(cfg_.epoch_millis) * 1'000'000) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (clock_gen_.load(std::memory_order_acquire) == gen &&
+         running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (!due_now()) continue;
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    if (clock_gen_.load(std::memory_order_acquire) != gen ||
+        !running_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Re-check under the lock: a manual rotate_epoch() may have just reset
+    // the budget while we were waiting.
+    if (due_now()) rotate_locked();
+  }
+}
+
+std::uint64_t HhhEngine::processed_total() const {
+  std::uint64_t n = 0;
+  for (const auto& ws : workers_) n += ws->consumed.load(std::memory_order_relaxed);
+  for (const auto& d : ring_dropped_) n += d->load(std::memory_order_relaxed);
+  return n;
+}
+
 EngineStats HhhEngine::collect_stats() const {
   EngineStats s;
   s.per_worker_consumed.reserve(workers_.size());
@@ -203,25 +292,37 @@ EngineStats HhhEngine::collect_stats() const {
     s.consumed += c;
   }
   s.per_ring_dropped.reserve(rings_.size());
+  s.per_ring_pushed.reserve(rings_.size());
+  s.per_ring_popped.reserve(rings_.size());
   for (const auto& d : ring_dropped_) {
     const std::uint64_t n = d->load(std::memory_order_relaxed);
     s.per_ring_dropped.push_back(n);
     s.dropped += n;
+  }
+  for (const auto& p : ring_pushed_) {
+    s.per_ring_pushed.push_back(p->load(std::memory_order_relaxed));
+  }
+  for (const auto& p : ring_popped_) {
+    s.per_ring_popped.push_back(p->load(std::memory_order_relaxed));
   }
   for (const auto& p : producers_) s.offered += p->offered();
   for (const auto& b : backpressure_) {
     s.backpressure_waits += b->load(std::memory_order_relaxed);
   }
   s.epochs = epoch_req_.load(std::memory_order_relaxed);
+  s.window_epochs = window_epochs_.load(std::memory_order_relaxed);
   return s;
 }
 
 EngineStats HhhEngine::stats() const { return collect_stats(); }
 
-EngineSnapshot HhhEngine::snapshot() {
-  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+template <class Fn>
+std::uint64_t HhhEngine::quiesced(Fn&& fn) {
   const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed) + 1;
-  if (running_.load(std::memory_order_acquire)) {
+  // running_ cannot flip underneath us: start()/stop() take snap_mu_, which
+  // the caller holds.
+  const bool live = running_.load(std::memory_order_acquire);
+  if (live) {
     epoch_req_.store(e, std::memory_order_release);
     std::unique_lock<std::mutex> lk(ctl_mu_);
     ctl_cv_.wait(lk, [&] {
@@ -230,28 +331,88 @@ EngineSnapshot HhhEngine::snapshot() {
     });
   } else {
     // No workers to quiesce (before start() or after stop()); the lattices
-    // are only mutated by workers, so merging directly is safe. The resume
-    // mark still has to advance with the request, or workers started later
-    // would park at this epoch's boundary waiting for a resume that already
-    // happened.
+    // are only mutated by workers, so operating directly is safe. The
+    // resume mark still has to advance with the request, or workers started
+    // later would park at this epoch's boundary waiting for a resume that
+    // already happened.
     epoch_req_.store(e, std::memory_order_relaxed);
     epoch_resume_.store(e, std::memory_order_relaxed);
   }
-
-  auto merged = make_shard_lattice(0x6e7a9000ULL ^ e);
-  for (const auto& ws : workers_) merged->merge(*ws->lattice);
-  EngineStats s = collect_stats();
-  // A dropped record was still offered on the wire: fold drops into N so
-  // thresholds and slack terms see the full stream, exactly like
-  // DistributedMeasurement::stop() does.
-  if (s.dropped != 0) merged->advance_stream(s.dropped);
-
-  if (running_.load(std::memory_order_acquire)) {
+  fn();
+  if (live) {
+    // Workers park inside ctl_cv_.wait, so everything fn() did to the shard
+    // lattices happens-before their wakeup via this mutex hand-off.
     std::lock_guard<std::mutex> lk(ctl_mu_);
     epoch_resume_.store(e, std::memory_order_relaxed);
     ctl_cv_.notify_all();
   }
+  return e;
+}
+
+EngineSnapshot HhhEngine::snapshot() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  std::unique_ptr<RhhhSpaceSaving> merged;
+  EngineStats s;
+  const std::uint64_t e = quiesced([&] {
+    merged = make_shard_lattice(0x6e7a9000ULL ^
+                                epoch_req_.load(std::memory_order_relaxed));
+    for (const auto& ws : workers_) merged->merge(ws->pair.live());
+    s = collect_stats();
+    // A dropped record was still offered on the wire: fold drops into N so
+    // thresholds and slack terms see the full stream, exactly like
+    // DistributedMeasurement::stop() does.
+    if (s.dropped != 0) merged->advance_stream(s.dropped);
+  });
   return EngineSnapshot(std::move(merged), std::move(s), e);
+}
+
+void HhhEngine::rotate_locked() {
+  quiesced([&] {
+    for (auto& ws : workers_) ws->pair.rotate();
+    std::uint64_t d = 0;
+    for (const auto& dr : ring_dropped_) d += dr->load(std::memory_order_relaxed);
+    // Drops since the last boundary happened while the just-sealed window
+    // was live: attribute them to it.
+    sealed_window_drops_ = d - win_drops_base_;
+    win_drops_base_ = d;
+    win_processed_base_.store(processed_total(), std::memory_order_relaxed);
+    win_started_ns_.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+  });
+  window_epochs_.fetch_add(1, std::memory_order_release);
+}
+
+void HhhEngine::rotate_epoch() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  rotate_locked();
+}
+
+WindowedEngineSnapshot HhhEngine::window_snapshot() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  std::unique_ptr<RhhhSpaceSaving> cur;
+  std::unique_ptr<RhhhSpaceSaving> prev;
+  EngineStats s;
+  std::uint64_t cur_drops = 0;
+  std::uint64_t prev_drops = 0;
+  // Rotations hold snap_mu_ too, so the window count is stable here.
+  const std::uint64_t we = window_epochs_.load(std::memory_order_relaxed);
+  quiesced([&] {
+    const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
+    cur = make_shard_lattice(0x6e7a9000ULL ^ e);
+    for (const auto& ws : workers_) cur->merge(ws->pair.live());
+    s = collect_stats();
+    cur_drops = s.dropped - win_drops_base_;
+    if (cur_drops != 0) cur->advance_stream(cur_drops);
+    if (we != 0) {
+      prev = make_shard_lattice(0x6e7ab000ULL ^ e);
+      for (const auto& ws : workers_) prev->merge(ws->pair.sealed());
+      prev_drops = sealed_window_drops_;
+      if (prev_drops != 0) prev->advance_stream(prev_drops);
+    }
+  });
+  return WindowedEngineSnapshot(std::move(cur), std::move(prev), std::move(s), we,
+                                cur_drops, prev_drops);
 }
 
 std::unique_ptr<HhhEngine> make_engine(const EngineConfig& cfg) {

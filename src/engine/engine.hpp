@@ -14,20 +14,40 @@
 // worker pair owns a dedicated SpscRing, so each ring stays strictly
 // single-producer/single-consumer; producers batch records locally and push
 // with try_push_n to amortize the ring atomics. Each worker owns a private
-// LatticeHhh (no shared state on the packet path) and consumes its M rings
-// with try_pop_n. Queries run through an epoch-based snapshot: workers
-// quiesce at the epoch boundary, the coordinator merges the shard lattices
-// (LatticeHhh::merge -- the multi-switch collector of paper Section 7) into
-// one instance whose stream length N spans every shard plus counted drops,
-// and workers resume.
+// live/sealed LatticeHhh pair (core/epoch_pair.hpp; no shared state on the
+// packet path) and consumes its M rings with try_pop_n. All control
+// operations run through one quiesce mechanism: workers park at the next
+// epoch boundary (each drains its visible ring backlog first), the
+// coordinator operates on the shard lattices, and workers resume.
+//
+// Three operations use it:
+//   * snapshot()        -- merge the live lattices (LatticeHhh::merge, the
+//                          multi-switch collector of paper Section 7) into
+//                          one instance whose stream length N spans every
+//                          shard plus counted drops. The lifetime view when
+//                          no window rotation is used; the current-window
+//                          view otherwise.
+//   * rotate_epoch()    -- seal the current window: every shard swaps its
+//                          live/sealed pair on the shared boundary. Driven
+//                          manually, or automatically by the coordinator
+//                          clock (EngineConfig::epoch_packets /
+//                          epoch_millis) from a background thread.
+//   * window_snapshot() -- merge both sides of every pair into a
+//                          current-window and a previous-window lattice,
+//                          with each window's drops folded into its N:
+//                          the WindowedHhhMonitor semantics
+//                          (current/previous/emerging) at engine scale.
 //
 // Accounting: drops are counted per ring (OverflowPolicy::kDropTail, the
-// saturated-port semantics of the distributed deployment), backpressure
-// retry rounds per producer (OverflowPolicy::kBlock, the lossless mode the
-// throughput benches use), and consumed packets per worker.
+// saturated-port semantics of the distributed deployment), pushes and pops
+// per ring (conservation invariants; see tests/test_engine_fuzz.cpp),
+// backpressure retry rounds per producer (OverflowPolicy::kBlock, the
+// lossless mode the throughput benches use), and consumed packets per
+// worker.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -35,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/epoch_pair.hpp"
 #include "core/monitor.hpp"
 #include "engine/shard_router.hpp"
 #include "engine/snapshot.hpp"
@@ -97,24 +118,43 @@ class HhhEngine {
     std::atomic<std::uint64_t> offered_{0};
   };
 
-  /// Spawns the W worker threads. Idempotent.
+  /// Spawns the W worker threads (and the coordinator clock thread when a
+  /// window clock is configured). Idempotent.
   void start();
-  /// Drains the rings, stops and joins the workers. Producer buffers are
-  /// not flushed (call Producer::flush() from the owning thread first).
-  /// Idempotent; also run by the destructor.
+  /// Drains the rings, stops and joins the workers (and the clock thread).
+  /// Producer buffers are not flushed (call Producer::flush() from the
+  /// owning thread first). Idempotent; also run by the destructor.
   void stop();
 
   /// Handle for producer `i` in [0, producers()). Hand each to one thread.
   [[nodiscard]] Producer& producer(std::uint32_t i) { return *producers_[i]; }
 
   /// Epoch-based network-wide query: quiesces every worker at the next
-  /// epoch boundary (each drains its visible ring backlog first), merges
-  /// the shard lattices into a fresh instance, folds counted drops into its
-  /// stream length, and resumes the workers. Packets still buffered in
-  /// producer handles (not flushed) are not yet part of the snapshot.
-  /// Serialized with itself and with stop(); callable before start() and
-  /// after stop() (no quiesce needed once workers are gone).
+  /// epoch boundary, merges the live shard lattices into a fresh instance,
+  /// folds counted drops into its stream length, and resumes the workers.
+  /// Packets still buffered in producer handles (not flushed) are not yet
+  /// part of the snapshot. With window rotation in use this covers only the
+  /// current (partial) window -- and folds in *all* drops ever counted, so
+  /// prefer window_snapshot() on a windowed engine. Serialized with itself
+  /// and with start()/stop(); callable before start() and after stop() (no
+  /// quiesce needed once workers are gone).
   [[nodiscard]] EngineSnapshot snapshot();
+
+  /// Close the current window on a shared boundary: quiesce, swap every
+  /// shard's live/sealed lattice pair (the previous sealed window is
+  /// discarded), attribute the drops counted since the last boundary to the
+  /// sealed window, resume. The coordinator clock calls this automatically
+  /// when EngineConfig::epoch_packets / epoch_millis are set; manual calls
+  /// compose with the clock (the packet/wall budgets reset either way).
+  void rotate_epoch();
+
+  /// Two-window network-wide query: quiesce, merge the live sides of every
+  /// pair into a current-window lattice and the sealed sides into a
+  /// previous-window lattice (absent before the first rotation), fold each
+  /// window's drops into its stream length, resume. Does NOT rotate --
+  /// observing is separate from sealing, so several window snapshots can
+  /// watch one window evolve.
+  [[nodiscard]] WindowedEngineSnapshot window_snapshot();
 
   /// Live ingest counters (no quiesce; individually-consistent atomics).
   [[nodiscard]] EngineStats stats() const;
@@ -127,19 +167,34 @@ class HhhEngine {
   }
   [[nodiscard]] const Hierarchy& hierarchy() const noexcept { return *hierarchy_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
-  /// Epochs closed so far (== number of snapshots taken).
+  /// Quiesce generations so far (snapshots + rotations + window snapshots).
   [[nodiscard]] std::uint64_t epochs() const noexcept {
     return epoch_req_.load(std::memory_order_relaxed);
   }
-  /// The shard lattice of worker `w`. Safe to inspect when quiescent
-  /// (before start(), after stop(), or from test code that knows better).
+  /// Completed window rotations so far. Safe to poll from any thread (the
+  /// detection loops of the demo/bench watch this for new sealed windows).
+  [[nodiscard]] std::uint64_t window_epochs() const noexcept {
+    return window_epochs_.load(std::memory_order_acquire);
+  }
+  /// True when a coordinator clock (packet or wall) is configured.
+  [[nodiscard]] bool windowed() const noexcept {
+    return cfg_.epoch_packets > 0 || cfg_.epoch_millis > 0;
+  }
+  /// The live (current-window) shard lattice of worker `w`. Safe to inspect
+  /// when quiescent (before start(), after stop(), or from test code that
+  /// knows better).
   [[nodiscard]] const RhhhSpaceSaving& shard(std::uint32_t w) const noexcept {
-    return *workers_[w]->lattice;
+    return workers_[w]->pair.live();
+  }
+  /// The sealed (previous-window) shard lattice of worker `w`, or nullptr
+  /// before the first rotation. Same quiescence caveat as shard().
+  [[nodiscard]] const RhhhSpaceSaving* shard_sealed(std::uint32_t w) const noexcept {
+    return workers_[w]->pair.sealed_or_null();
   }
 
  private:
   struct WorkerState {
-    std::unique_ptr<RhhhSpaceSaving> lattice;
+    EpochPair<RhhhSpaceSaving> pair;  ///< live + sealed window lattices
     std::thread thread;
     std::uint64_t epoch_acked = 0;  ///< guarded by ctl_mu_
     alignas(kCacheLine) std::atomic<std::uint64_t> consumed{0};
@@ -151,9 +206,20 @@ class HhhEngine {
   [[nodiscard]] std::unique_ptr<RhhhSpaceSaving> make_shard_lattice(
       std::uint64_t salt) const;
   void worker_loop(std::uint32_t w);
+  void clock_loop(std::uint64_t gen);
   /// One try_pop_n sweep over worker w's M rings; returns records consumed.
   std::size_t drain_pass(std::uint32_t w, std::vector<Key128>& batch);
   [[nodiscard]] EngineStats collect_stats() const;
+  /// Total records the shards have disposed of (consumed + dropped); what
+  /// the packet clock meters.
+  [[nodiscard]] std::uint64_t processed_total() const;
+  /// Parks every worker at the next quiesce boundary, runs fn while they
+  /// are parked, resumes them; returns the quiesce generation. Caller must
+  /// hold snap_mu_.
+  template <class Fn>
+  std::uint64_t quiesced(Fn&& fn);
+  /// rotate_epoch() body; caller must hold snap_mu_.
+  void rotate_locked();
 
   EngineConfig cfg_;
   std::unique_ptr<Hierarchy> hierarchy_;
@@ -166,6 +232,8 @@ class HhhEngine {
   std::vector<std::unique_ptr<Producer>> producers_;
 
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> ring_dropped_;  ///< [p * W + w]
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> ring_pushed_;   ///< [p * W + w]
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> ring_popped_;   ///< [p * W + w]
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> backpressure_;  ///< [p]
 
   std::atomic<bool> running_{false};
@@ -173,7 +241,25 @@ class HhhEngine {
   std::atomic<std::uint64_t> epoch_resume_{0};
   std::mutex ctl_mu_;               ///< guards epoch_acked + the cv below
   std::condition_variable ctl_cv_;
-  std::mutex snap_mu_;              ///< serializes snapshot() and stop()
+  std::mutex snap_mu_;              ///< serializes snapshot/rotate/start/stop
+
+  // Window bookkeeping. The atomics are written under snap_mu_ (rotations
+  // are serialized) but read lock-free: window_epochs_ by detection loops
+  // polling for new windows, the base/started marks by the coordinator
+  // clock metering its budget without touching snap_mu_ until a rotation
+  // is actually due (so frequent snapshots cannot starve it).
+  std::atomic<std::uint64_t> window_epochs_{0};
+  std::uint64_t win_drops_base_ = 0;      ///< total drops at the last rotation
+  std::uint64_t sealed_window_drops_ = 0; ///< drops during the sealed window
+  std::atomic<std::uint64_t> win_processed_base_{0};  ///< processed at boundary
+  std::atomic<std::int64_t> win_started_ns_{0};  ///< boundary steady-clock ns
+  /// Bumped by stop() to retire the current clock thread. stop() joins the
+  /// moved-out handle after releasing snap_mu_ (joining under the lock
+  /// would deadlock against a clock blocked on it for a rotation), so a
+  /// concurrent start() can already be spawning the next clock generation;
+  /// the token keeps the retired thread from ever rotating again.
+  std::atomic<std::uint64_t> clock_gen_{0};
+  std::thread clock_thread_;
 };
 
 }  // namespace rhhh

@@ -1,9 +1,18 @@
-// EngineSnapshot: the result of quiescing the sharded engine at an epoch
-// boundary -- one merged LatticeHhh over every shard's sub-stream plus the
-// ingest counters frozen at the same instant. Queries answer network-wide
-// (all shards, all producers) exactly like the multi-switch collector of
-// examples/multi_switch_merge.cpp, with the merged stream length N driving
-// thresholds and the randomized-mode slack terms.
+// EngineSnapshot / WindowedEngineSnapshot: the results of quiescing the
+// sharded engine at an epoch boundary.
+//
+// EngineSnapshot is the lifetime view -- one merged LatticeHhh over every
+// shard's sub-stream plus the ingest counters frozen at the same instant,
+// answering network-wide (all shards, all producers) exactly like the
+// multi-switch collector of examples/multi_switch_merge.cpp.
+//
+// WindowedEngineSnapshot is the change-detection view: when the engine
+// rotates window epochs (coordinator clock or rotate_epoch()), each shard
+// keeps a live/sealed lattice pair and the snapshot merges both sides --
+// the current (partial) window and the sealed previous window -- into two
+// network-wide lattices, with the drops of each window folded into its
+// stream length. current()/previous()/emerging() then mirror the
+// single-threaded WindowedHhhMonitor at multi-core scale.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/epoch_pair.hpp"
 #include "hhh/lattice_hhh.hpp"
 
 namespace rhhh {
@@ -21,9 +31,12 @@ struct EngineStats {
   std::uint64_t consumed = 0;   ///< packets applied to some shard lattice
   std::uint64_t dropped = 0;    ///< ring-full drops on the lossy offer() path
   std::uint64_t backpressure_waits = 0;  ///< full-ring retry rounds of push()
-  std::uint64_t epochs = 0;     ///< snapshots taken so far
+  std::uint64_t epochs = 0;     ///< quiesce generations (snapshots + rotations)
+  std::uint64_t window_epochs = 0;  ///< completed window rotations
   std::vector<std::uint64_t> per_worker_consumed;  ///< [worker]
   std::vector<std::uint64_t> per_ring_dropped;     ///< [producer * W + worker]
+  std::vector<std::uint64_t> per_ring_pushed;      ///< [producer * W + worker]
+  std::vector<std::uint64_t> per_ring_popped;      ///< [producer * W + worker]
 };
 
 class EngineSnapshot {
@@ -51,6 +64,75 @@ class EngineSnapshot {
   std::unique_ptr<RhhhSpaceSaving> merged_;
   EngineStats stats_;
   std::uint64_t epoch_;
+};
+
+/// The two-window network-wide view produced by HhhEngine::window_snapshot().
+/// `previous` is absent (empty set, zero length) until the engine's first
+/// window rotation, mirroring WindowedHhhMonitor::previous().
+class WindowedEngineSnapshot {
+ public:
+  WindowedEngineSnapshot(std::unique_ptr<RhhhSpaceSaving> current,
+                         std::unique_ptr<RhhhSpaceSaving> previous,
+                         EngineStats stats, std::uint64_t window_epochs,
+                         std::uint64_t current_drops, std::uint64_t previous_drops)
+      : current_(std::move(current)),
+        previous_(std::move(previous)),
+        stats_(std::move(stats)),
+        window_epochs_(window_epochs),
+        current_drops_(current_drops),
+        previous_drops_(previous_drops) {}
+
+  /// Network-wide HHH set of the current (partial) window.
+  [[nodiscard]] HhhSet current(double theta) const { return current_->output(theta); }
+  /// Network-wide HHH set of the sealed previous window; empty before the
+  /// first rotation.
+  [[nodiscard]] HhhSet previous(double theta) const {
+    if (previous_ == nullptr) return HhhSet(current_->hierarchy().size());
+    return previous_->output(theta);
+  }
+  /// Prefixes heavy in the current window whose share grew by
+  /// >= growth_factor vs the previous window (new prefixes: infinite
+  /// growth) -- WindowedHhhMonitor::emerging at engine scale.
+  [[nodiscard]] std::vector<EmergingPrefix> emerging(double theta,
+                                                     double growth_factor) const {
+    return emerging_from(*current_, previous_.get(), theta, growth_factor);
+  }
+
+  /// N of the current window (shard sub-streams + this window's drops).
+  [[nodiscard]] std::uint64_t current_length() const {
+    return current_->stream_length();
+  }
+  /// N of the previous window (0 before the first rotation).
+  [[nodiscard]] std::uint64_t previous_length() const {
+    return previous_ == nullptr ? 0 : previous_->stream_length();
+  }
+  [[nodiscard]] bool has_previous() const noexcept { return previous_ != nullptr; }
+
+  [[nodiscard]] const RhhhSpaceSaving& current_algorithm() const noexcept {
+    return *current_;
+  }
+  /// Valid only when has_previous().
+  [[nodiscard]] const RhhhSpaceSaving& previous_algorithm() const noexcept {
+    return *previous_;
+  }
+
+  /// Drops attributed to each window (already folded into the lengths).
+  [[nodiscard]] std::uint64_t current_drops() const noexcept { return current_drops_; }
+  [[nodiscard]] std::uint64_t previous_drops() const noexcept {
+    return previous_drops_;
+  }
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  /// Completed window rotations when this snapshot was taken.
+  [[nodiscard]] std::uint64_t window_epochs() const noexcept { return window_epochs_; }
+
+ private:
+  std::unique_ptr<RhhhSpaceSaving> current_;
+  std::unique_ptr<RhhhSpaceSaving> previous_;  ///< nullptr before 1st rotation
+  EngineStats stats_;
+  std::uint64_t window_epochs_;
+  std::uint64_t current_drops_;
+  std::uint64_t previous_drops_;
 };
 
 }  // namespace rhhh

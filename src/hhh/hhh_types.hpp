@@ -77,6 +77,14 @@ class HhhAlgorithm {
   virtual void update_weighted(Key128 x, std::uint64_t w) = 0;
   /// The approximate HHH set at threshold theta.
   [[nodiscard]] virtual HhhSet output(double theta) const = 0;
+  /// Conservative point estimate of f_p for an arbitrary prefix, usable
+  /// without materializing an HHH set -- what the emerging-aggregate
+  /// comparison (core/epoch_pair.hpp) probes the sealed epoch with. At
+  /// least as large as the f_hi output() would report for the prefix; the
+  /// same accuracy guarantee as output() applies (an eps*N-style bound,
+  /// not a hard upper bound for every implementation -- see
+  /// TrieHhh::estimate for the partial-ancestry caveat).
+  [[nodiscard]] virtual double estimate(const Prefix& p) const = 0;
   /// N: stream length consumed so far (total weight).
   [[nodiscard]] virtual std::uint64_t stream_length() const = 0;
   /// Convergence bound psi (Theorem 6.17); 0 for deterministic algorithms.

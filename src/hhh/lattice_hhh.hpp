@@ -148,7 +148,7 @@ class LatticeHhh final : public HhhAlgorithm {
   [[nodiscard]] double correction() const noexcept;
   /// Point estimate f-hat for an arbitrary prefix (Definition 11's
   /// V * X-hat, using the backend's upper estimate).
-  [[nodiscard]] double estimate(const Prefix& p) const {
+  [[nodiscard]] double estimate(const Prefix& p) const override {
     return scale_ * static_cast<double>(hh_[p.node].upper(p.key));
   }
 

@@ -122,6 +122,24 @@ void TrieHhh::compress() {
   }
 }
 
+double TrieHhh::estimate(const Prefix& p) const {
+  if (n_ == 0) return 0.0;
+  // Every arrival is counted (g) at exactly one tracked node, and
+  // compression folds a removed node's g into its parent: the mass of any
+  // prefix is the sum over tracked nodes it generalizes, undercounting by
+  // at most epoch - 1 (the lossy-counting bound output() uses as slack).
+  std::uint64_t f = 0;
+  for (const TrieNode& n : pool_) {
+    if (n.live && n.g != 0 && h_->generalizes(p, n.self)) f += n.g;
+  }
+  // A prefix with zero tracked evidence reports 0, not the bare slack:
+  // emerging_from() treats a zero previous share as "brand new, infinite
+  // growth", and a slack-only floor would silently suppress exactly those
+  // alarms on trie-backed windowed monitors.
+  if (f == 0) return 0.0;
+  return static_cast<double>(f) + static_cast<double>(epoch_ - 1);
+}
+
 HhhSet TrieHhh::output(double theta) const {
   HhhSet P(h_->size());
   if (n_ == 0) return P;

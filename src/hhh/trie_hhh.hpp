@@ -46,6 +46,13 @@ class TrieHhh final : public HhhAlgorithm {
   void update(Key128 x) override { update_weighted(x, 1); }
   void update_weighted(Key128 x, std::uint64_t w) override;
   [[nodiscard]] HhhSet output(double theta) const override;
+  /// Counted mass of every tracked node under p plus the lossy-counting
+  /// undercount bound (epoch - 1) -- exactly the f_hi output() computes
+  /// for p. O(tracked nodes). Note: with kPartial, arrivals counted at
+  /// *ancestors* of p during lazy path expansion are not included (the
+  /// same holds for output()'s f_hi), so early-stream estimates can trail
+  /// the true count by more than the slack until the paths are built.
+  [[nodiscard]] double estimate(const Prefix& p) const override;
   [[nodiscard]] std::uint64_t stream_length() const override { return n_; }
   void clear() override;
   [[nodiscard]] std::string_view name() const override { return name_; }

@@ -1,0 +1,177 @@
+// Statistical conformance suite: the paper's accuracy (Theorem 6.11) and
+// coverage (Theorem 6.15) guarantees, checked against exact ground truth
+// (eval/ground_truth) on seeded heavy-tailed Zipf traces (trace_gen), at
+// several (eps, theta, V) operating points, for the full algorithm roster:
+// the randomized lattice modes (RHHH at V = H and V = 10H, Sampled-MST),
+// the deterministic lattice baseline (MST), and the deterministic
+// trie-based comparators (Partial/Full Ancestry).
+//
+// What the theorems promise once the stream passes the convergence bound
+// psi (Theorem 6.17):
+//   * accuracy: each returned candidate's estimate is within eps * N of the
+//     exact frequency, w.p. >= 1 - delta  (deterministic algorithms: always);
+//   * coverage: each prefix whose exact conditioned frequency w.r.t. the
+//     returned set reaches theta * N is returned, w.p. >= 1 - delta
+//     (deterministic algorithms: always).
+//
+// So the deterministic rows assert *zero* errors, and the randomized rows
+// assert the empirical violation ratio stays within delta plus a small
+// finite-sample margin. Seeds are fixed: this runs as a normal ctest, no
+// flakiness budget needed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "hhh/lattice_hhh.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace rhhh {
+namespace {
+
+/// Finite-sample slack on top of delta for the randomized ratio checks:
+/// with tens of candidates per point, one unlucky candidate moves the
+/// empirical ratio by a few percent.
+constexpr double kMargin = 0.08;
+
+struct OperatingPoint {
+  const char* label;
+  HierarchyKind hierarchy;
+  AlgorithmKind randomized;  ///< the randomized mode under test at this point
+  double eps;
+  double delta;
+  std::uint32_t V;  ///< 0 = V = H
+  double theta;
+  std::uint64_t n;
+  const char* trace;
+  std::uint64_t seed;
+};
+
+const OperatingPoint kPoints[] = {
+    // 1D bytes (H = 5): the cheapest hierarchy, tight eps.
+    {"1d_rhhh_VH", HierarchyKind::kIpv4OneDimBytes, AlgorithmKind::kRhhh, 0.04,
+     0.05, 0, 0.10, 400000, "chicago16", 11},
+    // V = 10H: the paper's throughput configuration; psi grows with V, so
+    // the stream is longer.
+    {"1d_rhhh_V10H", HierarchyKind::kIpv4OneDimBytes, AlgorithmKind::kRhhh, 0.04,
+     0.05, 50, 0.05, 1200000, "sanjose14", 12},
+    // The Section 1 strawman at V = 5H.
+    {"1d_sampledmst_V5H", HierarchyKind::kIpv4OneDimBytes,
+     AlgorithmKind::kSampledMst, 0.04, 0.05, 25, 0.10, 600000, "chicago15", 13},
+    // 2D bytes (H = 25): the paper's main evaluated hierarchy.
+    {"2d_rhhh_VH", HierarchyKind::kIpv4TwoDimBytes, AlgorithmKind::kRhhh, 0.05,
+     0.05, 0, 0.10, 500000, "sanjose13", 14},
+};
+
+class Conformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(Conformance, TheoremBoundsHoldAtOperatingPoint) {
+  const OperatingPoint& pt = kPoints[GetParam()];
+  SCOPED_TRACE(pt.label);
+  const Hierarchy h = make_hierarchy(pt.hierarchy);
+
+  // Seeded Zipf trace mapped through the hierarchy, plus exact truth.
+  TraceConfig tc = trace_preset(pt.trace);
+  tc.seed = pt.seed;
+  TraceGenerator gen(tc);
+  ExactHhh truth(h);
+  std::vector<Key128> keys;
+  keys.reserve(pt.n);
+  for (std::uint64_t i = 0; i < pt.n; ++i) {
+    keys.push_back(h.key_of(gen.next()));
+    truth.add(keys.back());
+  }
+
+  MonitorConfig base;
+  base.hierarchy = pt.hierarchy;
+  base.eps = pt.eps;
+  base.delta = pt.delta;
+  base.V = pt.V;
+  base.seed = pt.seed;
+
+  const AlgorithmKind roster[] = {pt.randomized, AlgorithmKind::kMst,
+                                  AlgorithmKind::kPartialAncestry,
+                                  AlgorithmKind::kFullAncestry};
+  for (const AlgorithmKind kind : roster) {
+    MonitorConfig cfg = base;
+    cfg.algorithm = kind;
+    if (kind == AlgorithmKind::kPartialAncestry ||
+        kind == AlgorithmKind::kFullAncestry || kind == AlgorithmKind::kMst) {
+      cfg.V = 0;  // V is a randomized-lattice parameter only
+    }
+    const std::unique_ptr<HhhAlgorithm> alg = make_algorithm(h, cfg);
+    SCOPED_TRACE(std::string(alg->name()));
+
+    for (const Key128& k : keys) alg->update(k);
+    ASSERT_EQ(alg->stream_length(), pt.n);
+    const bool randomized = alg->psi() > 0.0;
+    if (randomized) {
+      // The theorems only apply past the convergence bound; the operating
+      // points are sized so every stream comfortably clears it.
+      ASSERT_GT(static_cast<double>(pt.n), alg->psi())
+          << "operating point mis-sized: N below psi";
+    }
+
+    const HhhSet out = alg->output(pt.theta);
+    ASSERT_GT(out.size(), 0u);
+
+    // Theorem 6.11 (accuracy): |f - f_est| <= eps * N.
+    const AccuracyReport acc = accuracy_errors(truth, out, pt.eps);
+    // Theorem 6.15 (coverage): no heavy conditioned prefix is missed.
+    const CoverageReport cov = coverage_errors(truth, out, pt.theta);
+    if (randomized) {
+      EXPECT_LE(acc.ratio(), pt.delta + kMargin)
+          << acc.errors << "/" << acc.candidates << " accuracy violations";
+      EXPECT_LE(cov.ratio(), pt.delta + kMargin)
+          << cov.misses << "/" << cov.candidates << " coverage misses";
+    } else {
+      EXPECT_EQ(acc.errors, 0u) << "deterministic algorithm broke the "
+                                   "eps*N accuracy bound";
+      EXPECT_EQ(cov.misses, 0u) << "deterministic algorithm missed a heavy "
+                                   "conditioned prefix";
+    }
+
+    // The theorem-shaped per-candidate check for the lattice modes: the
+    // estimate sits within eps_a * N plus the 2 Z sqrt(NV) sampling slack
+    // of Theorem 6.11 (a *tighter* additive bound than eps * N past psi).
+    if (const auto* lattice = dynamic_cast<const RhhhSpaceSaving*>(alg.get())) {
+      std::vector<Prefix> prefixes;
+      prefixes.reserve(out.size());
+      for (const HhhCandidate& c : out) prefixes.push_back(c.prefix);
+      const std::vector<std::uint64_t> exact = truth.frequencies(prefixes);
+      const double bound = lattice->eps_a() * static_cast<double>(pt.n) +
+                           lattice->correction();
+      std::size_t violations = 0;
+      for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        const double err =
+            std::abs(out[i].f_est - static_cast<double>(exact[i]));
+        if (err > bound) ++violations;
+      }
+      if (randomized) {
+        EXPECT_LE(static_cast<double>(violations) /
+                      static_cast<double>(prefixes.size()),
+                  pt.delta + kMargin)
+            << violations << "/" << prefixes.size()
+            << " exceed eps_a*N + 2Z*sqrt(NV)";
+      } else {
+        EXPECT_EQ(violations, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPoints, Conformance,
+                         ::testing::Range(0, static_cast<int>(std::size(kPoints))),
+                         [](const auto& info) {
+                           return std::string(kPoints[info.param].label);
+                         });
+
+}  // namespace
+}  // namespace rhhh

@@ -5,6 +5,7 @@
 // producer/worker thread stress (the W>=4 case CI runs under ASan/UBSan).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -389,6 +390,227 @@ TEST(EngineTest, BlockingOverflowIsLosslessAndCounted) {
   EXPECT_EQ(s.offered, kN);
   EXPECT_EQ(s.consumed, kN) << "kBlock must not lose records";
   EXPECT_EQ(s.dropped, 0u);
+}
+
+// ---------------------------------------------------- windowed engine ----
+
+TEST(WindowedEngine, ManualRotationSeparatesWindows) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.monitor.algorithm = AlgorithmKind::kMst;  // deterministic counts
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  const Key128 a = Key128::from_pair(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1));
+  const Key128 b = Key128::from_pair(ipv4(20, 0, 0, 2), ipv4(2, 2, 2, 2));
+
+  // Window 0: traffic to A only; seal it on the shared boundary.
+  for (int i = 0; i < 30000; ++i) prod.ingest(a);
+  prod.flush();
+  eng.rotate_epoch();
+  EXPECT_EQ(eng.window_epochs(), 1u);
+
+  // Window 1 (live): traffic to B only.
+  for (int i = 0; i < 20000; ++i) prod.ingest(b);
+  prod.flush();
+  eng.stop();
+
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  ASSERT_TRUE(snap.has_previous());
+  EXPECT_EQ(snap.window_epochs(), 1u);
+  EXPECT_EQ(snap.previous_length(), 30000u);
+  EXPECT_EQ(snap.current_length(), 20000u);
+
+  const Hierarchy& h = eng.hierarchy();
+  const Prefix pa{h.bottom(), a};
+  const Prefix pb{h.bottom(), b};
+  EXPECT_TRUE(snap.previous(0.5).contains(pa));
+  EXPECT_FALSE(snap.previous(0.5).contains(pb));
+  EXPECT_TRUE(snap.current(0.5).contains(pb));
+  EXPECT_FALSE(snap.current(0.5).contains(pa));
+
+  // B is brand new this window: infinite growth. A must not be reported.
+  bool found_b = false;
+  for (const EmergingPrefix& e : snap.emerging(0.5, 2.0)) {
+    EXPECT_FALSE(e.now.prefix == pa);
+    if (e.now.prefix == pb) {
+      found_b = true;
+      EXPECT_DOUBLE_EQ(e.previous_share, 0.0);
+      EXPECT_DOUBLE_EQ(e.share_now, 1.0);
+      EXPECT_TRUE(std::isinf(e.growth()));
+    }
+  }
+  EXPECT_TRUE(found_b);
+
+  // The merged MST lattices recover the exact per-window counts.
+  EXPECT_DOUBLE_EQ(snap.previous_algorithm().estimate(pa), 30000.0);
+  EXPECT_DOUBLE_EQ(snap.current_algorithm().estimate(pb), 20000.0);
+}
+
+TEST(WindowedEngine, NoPreviousWindowBeforeFirstRotation) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  HhhEngine eng(cfg);  // never started, never rotated
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  EXPECT_FALSE(snap.has_previous());
+  EXPECT_EQ(snap.window_epochs(), 0u);
+  EXPECT_EQ(snap.previous_length(), 0u);
+  EXPECT_TRUE(snap.previous(0.01).empty());
+  EXPECT_TRUE(snap.emerging(0.5, 2.0).empty()) << "no traffic, nothing emerges";
+}
+
+/// Acceptance criterion: a planted mid-stream burst must be flagged by
+/// emerging() on a >= 4-worker engine, end to end through producers, rings,
+/// shard rotation and the two-window merge -- with fixed seeds throughout.
+TEST(WindowedEngine, DetectsPlantedBurstEndToEnd) {
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.producers = 2;
+  cfg.monitor.eps = 0.05;
+  cfg.monitor.delta = 0.05;
+  cfg.monitor.seed = 42;
+  HhhEngine eng(cfg);
+  const Hierarchy& h = eng.hierarchy();
+  eng.start();
+
+  const Ipv4 attack_net = ipv4(66, 66, 0, 0);
+  const Ipv4 victim = ipv4(9, 9, 9, 9);
+  auto ingest_phase = [&](double attack_share, std::uint64_t per_producer) {
+    std::vector<std::thread> threads;
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        HhhEngine::Producer& prod = eng.producer(p);
+        TraceGenerator gen(trace_preset(p == 0 ? "chicago16" : "sanjose14"));
+        Xoroshiro128 rng(777 + p);
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          if (rng.uniform01() < attack_share) {
+            prod.ingest(Key128::from_pair(attack_net | rng.bounded(1 << 16), victim));
+          } else {
+            prod.ingest(h.key_of(gen.next()));
+          }
+        }
+        prod.flush();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  };
+
+  ingest_phase(0.0, 60000);  // quiet window
+  eng.rotate_epoch();
+  ingest_phase(0.30, 40000);  // the burst: ~30% of the live window
+  eng.stop();
+
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  ASSERT_TRUE(snap.has_previous());
+  EXPECT_EQ(snap.previous_length(), 120000u);
+  EXPECT_EQ(snap.current_length(), 80000u);
+  EXPECT_EQ(snap.stats().dropped, 0u);
+
+  // Some aggregate generalizing the attack traffic must emerge with a big
+  // share and >= 3x growth; nothing in the quiet background should.
+  const Prefix attack_bottom{h.bottom(),
+                             Key128::from_pair(attack_net | 0x0102u, victim)};
+  bool detected = false;
+  for (const EmergingPrefix& e : snap.emerging(0.1, 3.0)) {
+    if (e.share_now > 0.15 && e.growth() >= 3.0 &&
+        h.generalizes(e.now.prefix, attack_bottom)) {
+      detected = true;
+    }
+  }
+  EXPECT_TRUE(detected) << "planted burst not flagged by emerging()";
+}
+
+TEST(WindowedEngine, DropsAttributedToTheirWindow) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.ring_capacity = 16;
+  cfg.batch = 8;
+  cfg.overflow = OverflowPolicy::kDropTail;
+  HhhEngine eng(cfg);  // never started: rings fill, tails drop
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  const std::uint64_t drops_window0 = eng.stats().dropped;
+  ASSERT_GT(drops_window0, 0u);
+
+  eng.rotate_epoch();  // seal window 0 (and its drops) pre-start
+
+  // Window 1: the rings are still full, so everything new is dropped too.
+  for (int i = 0; i < 3000; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  ASSERT_TRUE(snap.has_previous());
+  EXPECT_EQ(snap.previous_drops(), drops_window0);
+  EXPECT_EQ(snap.current_drops(), snap.stats().dropped - drops_window0);
+  // Nothing was consumed yet: each window's N is exactly its drops.
+  EXPECT_EQ(snap.previous_length(), drops_window0);
+  EXPECT_EQ(snap.current_length(), snap.current_drops());
+
+  // Draining the rings books the backlog into the *current* window.
+  eng.start();
+  eng.stop();
+  const WindowedEngineSnapshot after = eng.window_snapshot();
+  const EngineStats& s = after.stats();
+  EXPECT_EQ(s.consumed + s.dropped, 8000u);
+  EXPECT_EQ(after.current_length(), s.consumed + after.current_drops());
+  EXPECT_EQ(after.previous_length(), drops_window0);
+}
+
+TEST(WindowedEngine, PacketClockRotatesAutomatically) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.epoch_packets = 10000;
+  HhhEngine eng(cfg);
+  EXPECT_TRUE(eng.windowed());
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(29);
+  for (int i = 0; i < 100000; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  // The coordinator clock owes at least one rotation once 100k >> 10k
+  // records are through; give it (generous) wall time to notice.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (eng.window_epochs() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  eng.stop();
+  const std::uint64_t rotations = eng.window_epochs();
+  EXPECT_GE(rotations, 1u);
+  EXPECT_LE(rotations, 10u) << "clock must meter ~epoch_packets per window";
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  EXPECT_TRUE(snap.has_previous());
+  EXPECT_EQ(snap.stats().consumed, 100000u);
+  EXPECT_EQ(snap.stats().window_epochs, rotations);
+}
+
+TEST(WindowedEngine, WallClockRotatesAutomatically) {
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.producers = 1;
+  cfg.epoch_millis = 5;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  prod.ingest(Key128::from_pair(ipv4(1, 2, 3, 4), ipv4(5, 6, 7, 8)));
+  prod.flush();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (eng.window_epochs() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  eng.stop();
+  EXPECT_GE(eng.window_epochs(), 2u);
 }
 
 // ------------------------------------------------------------- stress ----

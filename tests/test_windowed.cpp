@@ -3,6 +3,8 @@
 // detection on a simulated attack ramp.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/windowed.hpp"
 #include "net/ipv4.hpp"
 #include "trace/trace_gen.hpp"
@@ -106,6 +108,103 @@ TEST(WindowedMonitor, EmergingDetectsRampingAggregate) {
     if (node.step[0] >= 1 && node.step[1] == 0 && e.share_now > 0.15) found = true;
   }
   EXPECT_TRUE(found) << emerging.size() << " emerging prefixes";
+}
+
+TEST(WindowedMonitor, RotatesExactlyAtEpochBoundary) {
+  WindowedHhhMonitor mon(small_config(), 1000);
+  for (int i = 0; i < 999; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 0u);
+  EXPECT_EQ(mon.packets_in_epoch(), 999u);
+  EXPECT_TRUE(mon.previous(0.1).empty());
+
+  // The 1000th update is the boundary: the rotation happens inside this
+  // update, leaving a freshly cleared live epoch (not one packet into it).
+  mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 1u);
+  EXPECT_EQ(mon.packets_in_epoch(), 0u);
+  EXPECT_FALSE(mon.previous(0.5).empty());
+
+  mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 1u);
+  EXPECT_EQ(mon.packets_in_epoch(), 1u);
+}
+
+TEST(WindowedMonitor, GrowthIsExplicitInfinityForNewPrefixes) {
+  EmergingPrefix fresh{};
+  fresh.previous_share = 0.0;
+  fresh.share_now = 0.25;
+  EXPECT_TRUE(std::isinf(fresh.growth()));
+  EXPECT_GT(fresh.growth(), 0.0);
+
+  EmergingPrefix grown{};
+  grown.previous_share = 0.1;
+  grown.share_now = 0.25;
+  EXPECT_DOUBLE_EQ(grown.growth(), 2.5);
+}
+
+TEST(WindowedMonitor, EmergingSharesMatchHandComputedValues) {
+  // Deterministic MST + exact backend sizing: every count below is exact,
+  // so the reported shares and growth factors can be pinned precisely.
+  WindowedHhhMonitor mon(small_config(), 1000);
+  const Ipv4 a_src = ipv4(10, 0, 0, 1), a_dst = ipv4(1, 1, 1, 1);
+  const Ipv4 b_src = ipv4(20, 0, 0, 2), b_dst = ipv4(2, 2, 2, 2);
+  const Ipv4 c_src = ipv4(30, 0, 0, 3), c_dst = ipv4(3, 3, 3, 3);
+
+  // Sealed epoch: A = 300/1000, B = 700/1000, C absent.
+  for (int i = 0; i < 300; ++i) mon.update(a_src, a_dst);
+  for (int i = 0; i < 700; ++i) mon.update(b_src, b_dst);
+  ASSERT_EQ(mon.epochs_completed(), 1u);
+
+  // Live epoch (partial): A = 300/500, C = 150/500, B = 50/500.
+  for (int i = 0; i < 300; ++i) mon.update(a_src, a_dst);
+  for (int i = 0; i < 150; ++i) mon.update(c_src, c_dst);
+  for (int i = 0; i < 50; ++i) mon.update(b_src, b_dst);
+  ASSERT_EQ(mon.packets_in_epoch(), 500u);
+
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix a{h.bottom(), Key128::from_pair(a_src, a_dst)};
+  const Prefix b{h.bottom(), Key128::from_pair(b_src, b_dst)};
+  const Prefix c{h.bottom(), Key128::from_pair(c_src, c_dst)};
+
+  // A: share 0.3 -> 0.6, growth exactly 2. C: new, infinite growth.
+  // B: share 0.7 -> 0.1, shrinking -- must not be reported.
+  const auto emerging = mon.emerging(0.25, 2.0);
+  const EmergingPrefix* ea = nullptr;
+  const EmergingPrefix* ec = nullptr;
+  for (const EmergingPrefix& e : emerging) {
+    if (e.now.prefix == a) ea = &e;
+    if (e.now.prefix == c) ec = &e;
+    EXPECT_FALSE(e.now.prefix == b) << "shrinking prefix reported as emerging";
+  }
+  ASSERT_NE(ea, nullptr);
+  EXPECT_DOUBLE_EQ(ea->previous_share, 0.3);
+  EXPECT_DOUBLE_EQ(ea->share_now, 0.6);
+  EXPECT_DOUBLE_EQ(ea->growth(), 2.0);
+  ASSERT_NE(ec, nullptr);
+  EXPECT_DOUBLE_EQ(ec->previous_share, 0.0);
+  EXPECT_DOUBLE_EQ(ec->share_now, 0.3);
+  EXPECT_TRUE(std::isinf(ec->growth()));
+}
+
+TEST(WindowedMonitor, ConvergedEpochStableAcrossRotations) {
+  // converged_epoch() compares the configuration's psi against the epoch
+  // size; it must not flap as the monitor rotates through epochs.
+  MonitorConfig cfg = small_config();
+  cfg.algorithm = AlgorithmKind::kRhhh;
+  cfg.eps = 0.1;
+  cfg.delta = 0.1;
+  WindowedHhhMonitor loose(cfg, 100);
+  ASSERT_FALSE(loose.converged_epoch());
+  for (int i = 0; i < 550; ++i) loose.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_GE(loose.epochs_completed(), 5u);
+  EXPECT_FALSE(loose.converged_epoch());
+
+  WindowedHhhMonitor deterministic(small_config(), 100);
+  ASSERT_TRUE(deterministic.converged_epoch());
+  for (int i = 0; i < 550; ++i) {
+    deterministic.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  }
+  EXPECT_TRUE(deterministic.converged_epoch());
 }
 
 TEST(WindowedMonitor, StableTrafficNotEmerging) {
