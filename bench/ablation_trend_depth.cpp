@@ -1,0 +1,167 @@
+// Ablation: window-ring history depth K -- what trend queries cost.
+//
+// The K-deep WindowRing (core/window_ring.hpp) retains K sealed epochs
+// behind the live one so trend()/emerging_sustained() can see k-epoch
+// growth curves. The price is K extra same-configuration lattices held in
+// memory; rotation itself stays O(counters-clear) regardless of K, so
+// ingest throughput should be flat in K while memory grows linearly.
+//
+// Two panels:
+//   * core ring: a WindowRing<RhhhSpaceSaving> driven single-threaded with
+//     rotations every n/16 packets -- Mpps (rotations included), per-probe
+//     trend() latency over the full retained history, resident lattice
+//     memory.
+//   * windowed engine: the same stream through a 2-producer/2-worker
+//     HhhEngine at EngineConfig::history_depth = K, manual rotations on
+//     stream position, plus one trend_snapshot() per epoch -- Mpps and the
+//     K-aligned snapshot latency.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "core/window_ring.hpp"
+#include "engine/engine.hpp"
+#include "net/ipv4.hpp"
+#include "util/random.hpp"
+
+using namespace rhhh;
+using namespace rhhh::bench;
+
+namespace {
+
+std::size_t lattice_memory_bytes(const RhhhSpaceSaving& alg) {
+  std::size_t bytes = 0;
+  for (std::uint32_t d = 0; d < alg.H(); ++d) {
+    bytes += alg.instance(d).memory_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Args::parse(argc, argv);
+  print_figure_header(
+      "Trend depth",
+      "WindowRing history depth K: ingest Mpps, trend-probe latency, memory",
+      args);
+
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const auto n = static_cast<std::size_t>(4e6 * args.scale);
+  const std::vector<Key128>& keys = trace_keys(h, "chicago16", n);
+  const std::size_t epoch = std::max<std::size_t>(n / 16, 4);
+  const Prefix probe{h.node_index(2, 0),
+                     h.mask_key(h.node_index(2, 0),
+                                Key128::from_pair(ipv4(66, 66, 1, 2),
+                                                  ipv4(203, 0, 113, 9)))};
+
+  std::printf("\n-- core WindowRing, 2D bytes, epoch = n/16 --\n");
+  print_row({"depth K", "Mpps (95% CI)", "trend us/probe", "memory MB"});
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    RunningStats mpps;
+    double probe_us = 0.0;
+    double mem_mb = 0.0;
+    for (int r = 0; r < args.runs; ++r) {
+      LatticeParams lp;
+      lp.eps = args.eps;
+      lp.delta = args.delta;
+      lp.seed = args.seed + static_cast<std::uint64_t>(r);
+      WindowRing<RhhhSpaceSaving> ring(depth, [&](std::size_t slot) {
+        LatticeParams slp = lp;
+        slp.seed = lp.seed + slot;
+        return std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kRhhh, slp);
+      });
+      const double t0 = now_sec();
+      std::size_t next_rotate = epoch;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        ring.live().update(keys[i]);
+        if (i + 1 == next_rotate) {
+          ring.rotate();
+          next_rotate += epoch;
+        }
+      }
+      const double dt = now_sec() - t0;
+      mpps.add(static_cast<double>(keys.size()) / dt / 1e6);
+
+      // Probe latency over the whole retained history (K+1 estimates).
+      constexpr int kProbes = 2000;
+      const auto windows = ring.windows_oldest_first();
+      std::vector<const HhhAlgorithm*> alg_windows(windows.begin(), windows.end());
+      const double q0 = now_sec();
+      double sink = 0.0;
+      for (int q = 0; q < kProbes; ++q) {
+        for (const TrendPoint& tp : trend_of(alg_windows, probe)) sink += tp.share;
+      }
+      probe_us = (now_sec() - q0) / kProbes * 1e6;
+      if (sink < 0.0) std::printf("?");  // keep the probe loop alive
+
+      std::size_t bytes = 0;
+      for (const RhhhSpaceSaving* w : windows) bytes += lattice_memory_bytes(*w);
+      mem_mb = static_cast<double>(bytes) / 1e6;
+    }
+    print_row({std::to_string(depth), ci_cell(mpps), fmt(probe_us), fmt(mem_mb)});
+  }
+
+  std::printf("\n-- windowed HhhEngine (2 producers -> 2 workers), epoch = n/16 --\n");
+  print_row({"depth K", "Mpps (95% CI)", "trend_snapshot ms"});
+  for (const std::size_t depth : {1u, 4u, 16u}) {
+    RunningStats mpps;
+    double snap_ms = 0.0;
+    for (int r = 0; r < args.runs; ++r) {
+      EngineConfig cfg;
+      cfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+      cfg.monitor.algorithm = AlgorithmKind::kRhhh;
+      cfg.monitor.eps = args.eps;
+      cfg.monitor.delta = args.delta;
+      cfg.monitor.seed = args.seed + static_cast<std::uint64_t>(r);
+      cfg.workers = 2;
+      cfg.producers = 2;
+      cfg.overflow = OverflowPolicy::kBlock;  // lossless: Mpps is real work
+      cfg.history_depth = depth;
+      const std::unique_ptr<HhhEngine> eng = make_engine(cfg);
+      eng->start();
+      const double t0 = now_sec();
+      std::size_t next_rotate = epoch;
+      for (std::size_t lo = 0; lo < keys.size(); lo += epoch) {
+        const std::size_t hi = std::min(lo + epoch, keys.size());
+        std::vector<std::thread> producers;
+        for (std::uint32_t p = 0; p < 2; ++p) {
+          producers.emplace_back([&, p] {
+            HhhEngine::Producer& prod = eng->producer(p);
+            const std::size_t plo = lo + (hi - lo) * p / 2;
+            const std::size_t phi = lo + (hi - lo) * (p + 1) / 2;
+            for (std::size_t i = plo; i < phi; ++i) prod.ingest(keys[i]);
+            prod.flush();
+          });
+        }
+        for (std::thread& t : producers) t.join();
+        if (hi >= next_rotate) {
+          eng->rotate_epoch();
+          next_rotate += epoch;
+        }
+        const double s0 = now_sec();
+        const TrendSnapshot snap = eng->trend_snapshot();
+        snap_ms = (now_sec() - s0) * 1e3;
+        if (snap.current_length() == 0 && snap.sealed_windows() == 0) {
+          std::printf("?");  // unreachable; defeats dead-code elimination
+        }
+      }
+      eng->stop();
+      const double dt = now_sec() - t0;
+      mpps.add(static_cast<double>(keys.size()) / dt / 1e6);
+    }
+    print_row({std::to_string(depth), ci_cell(mpps), fmt(snap_ms)});
+  }
+
+  std::printf(
+      "\n(expected shape: core-ring Mpps flat in K -- rotation cost is one\n"
+      " counter clear, not a function of history -- with memory linear in\n"
+      " K+1 and trend probes linear in K; the engine panel runs a full\n"
+      " trend_snapshot every epoch, so its Mpps *includes* one K-window\n"
+      " cross-shard merge per epoch -- the price of a detection loop that\n"
+      " watches the whole history at small epochs; poll less often or\n"
+      " shrink K if ingest dominates)\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench trajectory checker: fail CI on throughput regressions.
+
+Diffs a freshly produced BENCH_<name>.json (rhhh-bench-table-v1, the format
+bench_common mirrors its tables into) against the same file from a previous
+run's uploaded artifact, and exits nonzero when any tracked numeric cell
+regressed by more than --max-regress (relative).
+
+Cells are matched positionally per (section, row label, column). Numeric
+cells are the leading float of strings like "12.3 +-0.5"; non-numeric cells
+(headers, "miss", "x2.1" speedup ratios) are skipped. Higher is assumed
+better (Mpps / M updates per second tables); benches where lower is better
+should not be pointed at this checker.
+
+A missing previous baseline (first run on a branch, expired artifact) is a
+pass with a notice -- the checker bootstraps itself from the next upload.
+
+Usage:
+  check_trajectory.py --current DIR --previous DIR
+                      [--bench fig5_update_speed] [--max-regress 0.15]
+                      [--min-value 0.1]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+NUM_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)(\s|$)")
+HALF_RE = re.compile(r"\+-\s*([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)")
+
+
+def leading_number(cell):
+    """(mean, ci_half) of a table cell, or None for non-numeric cells.
+
+    bench_common's ci_cell prints "mean +-half" (half = 95% Student-t
+    half-width over the runs); single-run cells are a bare mean (half 0).
+    """
+    m = NUM_RE.match(cell)
+    if not m:
+        return None
+    h = HALF_RE.search(cell)
+    return float(m.group(1)), float(h.group(1)) if h else 0.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rhhh-bench-table-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def index_rows(doc):
+    """{(section, label, occurrence, col): value} for every numeric cell.
+
+    A section can hold several stacked panels (fig5 prints one table per
+    trace x hierarchy), so the same row label recurs; the occurrence index
+    keeps those rows distinct instead of silently keeping only the last.
+    """
+    cells = {}
+    seen = {}
+    for s, section in enumerate(doc.get("sections", [])):
+        for row in section.get("rows", []):
+            if not row:
+                continue
+            label = row[0]
+            occ = seen.get((s, label), 0)
+            seen[(s, label)] = occ + 1
+            for c, cell in enumerate(row[1:], start=1):
+                v = leading_number(cell)
+                if v is not None:
+                    cells[(s, label, occ, c)] = v
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, help="dir with this run's BENCH_*.json")
+    ap.add_argument("--previous", required=True, help="dir with the prior artifact")
+    ap.add_argument("--bench", default="fig5_update_speed")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="relative drop that fails the job (default 0.15)")
+    ap.add_argument("--min-value", type=float, default=0.1,
+                    help="ignore cells below this (noise floor, default 0.1)")
+    ap.add_argument("--allow-empty", action="store_true",
+                    help="pass even when no cells match the baseline (escape "
+                         "hatch for intentional table reshapes)")
+    args = ap.parse_args()
+
+    name = f"BENCH_{args.bench}.json"
+    cur_path = pathlib.Path(args.current) / name
+    prev_path = pathlib.Path(args.previous) / name
+    if not cur_path.exists():
+        raise SystemExit(f"current results missing: {cur_path}")
+    if not prev_path.exists():
+        print(f"no previous baseline at {prev_path} -- nothing to diff, passing")
+        return 0
+
+    cur_doc, prev_doc = load(cur_path), load(prev_path)
+    # Different sweep parameters are not comparable runs; don't false-alarm.
+    for p in ("scale", "runs", "eps", "theta"):
+        if cur_doc.get("params", {}).get(p) != prev_doc.get("params", {}).get(p):
+            print(f"params differ ({p}: {prev_doc['params'].get(p)} -> "
+                  f"{cur_doc['params'].get(p)}) -- baselines not comparable, passing")
+            return 0
+
+    cur, prev = index_rows(cur_doc), index_rows(prev_doc)
+    compared = 0
+    failures = []
+    for key, (old, old_half) in prev.items():
+        hit = cur.get(key)
+        if hit is None or old < args.min_value:
+            continue
+        new, new_half = hit
+        compared += 1
+        drop = (old - new) / old
+        # A real regression must clear the relative threshold AND the two
+        # measurements' combined 95% half-widths -- multi-run cells carry
+        # their own noise estimate, so a wide-CI cell (shared CI runners,
+        # cold-cache first column) cannot flap the gate by itself.
+        if drop > args.max_regress and (old - new) > old_half + new_half:
+            s, label, occ, c = key
+            figure = prev_doc["sections"][s].get("figure", f"section {s}")
+            failures.append(
+                f"  {figure} / {label} #{occ} [col {c}]: {old:g}+-{old_half:g} "
+                f"-> {new:g}+-{new_half:g} "
+                f"({drop:.1%} drop > {args.max_regress:.0%})")
+
+    print(f"{args.bench}: compared {compared} cells against {prev_path}")
+    if compared == 0 and not args.allow_empty:
+        # A baseline exists but nothing matched: the table was reshaped or
+        # rows renamed, and a silent pass would turn the gate into a no-op.
+        print("ERROR: zero comparable cells -- row labels or sections changed? "
+              "Re-run with --allow-empty for an intentional reshape (the next "
+              "upload re-seeds the baseline).")
+        return 1
+    if failures:
+        print(f"REGRESSION: {len(failures)} cell(s) regressed "
+              f"beyond {args.max_regress:.0%}:")
+        print("\n".join(failures))
+        return 1
+    print("no regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,29 @@
 // Windowed change detection at engine scale: the paper's Section 1
 // motivation (realtime DDoS detection) run end to end on the sharded
-// multi-core engine.
+// multi-core engine, with a K-deep window ring separating a real attack
+// from a transient.
 //
 // Two producer threads feed four worker shards with heavy-tailed backbone
 // traffic (trace_gen presets). The engine's coordinator packet clock
-// rotates every shard's live/sealed lattice pair each `epoch` records.
-// At 60% of the stream an attack ramps up: 25% of subsequent packets flood
-// one victim from scattered sources inside 66.66.0.0/16. A collector loop
-// polls window_epochs() and, after each rotation, asks the two-window
-// snapshot for emerging() aggregates -- prefixes heavy *now* that grew
-// >= 3x vs the sealed previous window. The flood's /16 aggregate trips the
-// alarm; the steady backbone heavy hitters never do.
+// rotates every shard's window ring (history_depth = 6 sealed epochs) each
+// `epoch` records. Two anomalies are planted:
+//
+//   * a one-epoch SPIKE: for exactly one window starting at 25% of the
+//     stream, 25% of packets flood one victim from 77.77.0.0/16;
+//   * a sustained RAMP: from 60% of the stream to the end, 30% of packets
+//     flood another victim from 66.66.0.0/16.
+//
+// A collector loop polls window_epochs() and, after each rotation, asks
+// the trend snapshot two questions:
+//
+//   * emerging(theta, growth)            -- the one-shot two-window alarm:
+//     fires on anything that grew, the spike included;
+//   * emerging_sustained(theta, growth, 3) -- the EWMA-baseline alarm:
+//     only fires when the growth persists for 3 consecutive windows, so
+//     the spike stays quiet and the ramp trips it.
+//
+// That contrast is the point: one-epoch blips are weather, multi-epoch
+// ramps are events, and only a ring of sealed windows can tell them apart.
 //
 // Run:  ./ddos_burst_demo [packets] [epoch]
 #include <chrono>
@@ -35,6 +48,7 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : packets / 16;
   const double theta = 0.1;
   const double growth = 3.0;
+  const std::uint32_t min_epochs = 3;
 
   rhhh::EngineConfig cfg;
   cfg.monitor.hierarchy = rhhh::HierarchyKind::kIpv4TwoDimBytes;
@@ -48,20 +62,28 @@ int main(int argc, char** argv) {
   cfg.workers = 4;
   cfg.producers = 2;
   cfg.epoch_packets = epoch;  // the coordinator clock drives the windows
+  cfg.history_depth = 6;      // K sealed windows: enough for min_epochs + baseline
   const std::unique_ptr<rhhh::HhhEngine> eng = rhhh::make_engine(cfg);
   const rhhh::Hierarchy& h = eng->hierarchy();
   eng->start();
   std::printf(
-      "windowed engine: %u producers -> %u shards, epoch = %llu packets "
-      "(psi = %.0f; epoch must exceed it)\n"
-      "burst: 25%% of traffic from 66.66.0.0/16 -> one victim, starting at "
-      "60%% of %zu packets\n\n",
+      "windowed engine: %u producers -> %u shards, epoch = %llu packets, "
+      "ring keeps %zu sealed windows (psi = %.0f; epoch must exceed it)\n"
+      "planted: one-epoch spike from 77.77.0.0/16 at 25%% of %zu packets;\n"
+      "         sustained ramp from 66.66.0.0/16 from 60%% to the end\n\n",
       eng->producers(), eng->workers(), static_cast<unsigned long long>(epoch),
-      eng->shard(0).psi(), packets);
+      cfg.history_depth, eng->shard(0).psi(), packets);
 
-  const rhhh::Ipv4 attack_net = rhhh::ipv4(66, 66, 0, 0);
+  const rhhh::Ipv4 ramp_net = rhhh::ipv4(66, 66, 0, 0);
+  const rhhh::Ipv4 spike_net = rhhh::ipv4(77, 77, 0, 0);
   const rhhh::Ipv4 victim = rhhh::ipv4(203, 0, 113, 9);
-  const std::size_t burst_start = packets * 6 / 10;
+  // The spike's victim lives in a different test net (TEST-NET-2) so no
+  // lattice aggregate generalizes both anomalies -- keeps the verdicts
+  // attributable.
+  const rhhh::Ipv4 victim2 = rhhh::ipv4(198, 51, 100, 77);
+  const std::size_t spike_start = packets / 4;
+  const std::size_t spike_end = spike_start + epoch;
+  const std::size_t ramp_start = packets * 6 / 10;
 
   std::vector<std::thread> producers;
   for (std::uint32_t p = 0; p < 2; ++p) {
@@ -73,10 +95,14 @@ int main(int argc, char** argv) {
       const std::size_t share = packets / 2;
       for (std::size_t i = 0; i < share; ++i) {
         // Producers advance in lockstep through the global stream position,
-        // so the burst switches on for both at the same wall-clock point.
+        // so both anomalies switch on/off at the same wall-clock point.
         const std::size_t global = i * 2 + p;
-        if (global >= burst_start && rng.bounded(100) < 25) {
-          prod.ingest(rhhh::Key128::from_pair(attack_net | rng.bounded(1 << 16),
+        if (global >= spike_start && global < spike_end &&
+            rng.bounded(100) < 25) {
+          prod.ingest(rhhh::Key128::from_pair(spike_net | rng.bounded(1 << 16),
+                                              victim2));
+        } else if (global >= ramp_start && rng.bounded(100) < 30) {
+          prod.ingest(rhhh::Key128::from_pair(ramp_net | rng.bounded(1 << 16),
                                               victim));
         } else {
           prod.ingest(h.key_of(gen.next()));
@@ -86,39 +112,60 @@ int main(int argc, char** argv) {
     });
   }
 
-  // The collector: probe the two-window view every few milliseconds --
-  // detection must not wait for the attacked window to be sealed. Alarms
+  // The collector: watch the ring. One-shot emerging() alarms are announced
+  // as "EMERGING" (they catch the spike while its window is live); sustained
+  // alarms as "SUSTAINED" -- only the ramp should ever earn that tag. Alarms
   // only fire once the live window is at least a quarter full (a fresh
-  // window of a handful of packets estimates shares too noisily), and each
-  // emerging prefix is announced once per window.
-  const rhhh::Prefix attack_bottom{
-      h.bottom(), rhhh::Key128::from_pair(attack_net | 0x0102u, victim)};
-  bool detected = false;
+  // window of a handful of packets estimates shares too noisily).
+  const rhhh::Prefix ramp_bottom{
+      h.bottom(), rhhh::Key128::from_pair(ramp_net | 0x0102u, victim)};
+  const rhhh::Prefix spike_bottom{
+      h.bottom(), rhhh::Key128::from_pair(spike_net | 0x0102u, victim2)};
+  bool spike_emerged = false;
+  bool ramp_sustained = false;
+  bool spike_sustained = false;
   std::uint64_t offered = 0;
   std::uint64_t seen_windows = 0;
   std::set<std::string> announced;
-  const auto probe = [&](const rhhh::WindowedEngineSnapshot& snap) {
-    if (!snap.has_previous() || snap.current_length() < epoch / 4) return;
+  const auto probe = [&](const rhhh::TrendSnapshot& snap) {
+    if (snap.sealed_windows() == 0 || snap.current_length() < epoch / 4) return;
     for (const rhhh::EmergingPrefix& e : snap.emerging(theta, growth)) {
-      // Candidates below half the threshold ride in on the randomized
-      // modes' conditioned-frequency slack; skip the noise.
-      if (e.share_now < theta / 2) continue;
-      std::string name = h.format(e.now.prefix);
+      if (e.share_now < theta / 2) continue;  // conditioned-slack noise
+      std::string name = "E:" + h.format(e.now.prefix);
       if (!announced.insert(name).second) continue;
-      const bool is_attack = h.generalizes(e.now.prefix, attack_bottom);
+      const bool is_spike = h.generalizes(e.now.prefix, spike_bottom);
+      const bool is_ramp = h.generalizes(e.now.prefix, ramp_bottom);
+      if (is_spike && e.share_now > 0.15) spike_emerged = true;
+      std::printf("  EMERGING  in window %llu: %-28s %5.1f%% of window "
+                  "(was %4.1f%%)%s\n",
+                  static_cast<unsigned long long>(snap.window_epochs() + 1),
+                  h.format(e.now.prefix).c_str(), 100.0 * e.share_now,
+                  100.0 * e.previous_share,
+                  is_spike   ? "  <-- planted spike (one-shot alarm only)"
+                  : is_ramp ? "  <-- planted ramp"
+                            : "");
+    }
+    for (const rhhh::SustainedPrefix& s :
+         snap.emerging_sustained(theta, growth, min_epochs)) {
+      if (s.share_now < theta / 2) continue;
+      std::string name = "S:" + h.format(s.now.prefix);
+      if (!announced.insert(name).second) continue;
+      const bool is_spike = h.generalizes(s.now.prefix, spike_bottom);
+      const bool is_ramp = h.generalizes(s.now.prefix, ramp_bottom);
+      if (is_ramp && s.share_now > 0.15) ramp_sustained = true;
+      if (is_spike) spike_sustained = true;
       char gbuf[32];
-      if (std::isinf(e.growth())) {
+      if (std::isinf(s.growth())) {
         std::snprintf(gbuf, sizeof gbuf, "new");
       } else {
-        std::snprintf(gbuf, sizeof gbuf, "x%.1f", e.growth());
+        std::snprintf(gbuf, sizeof gbuf, "x%.1f", s.growth());
       }
-      std::printf(
-          "  EMERGING in window %llu: %-30s %5.1f%% of window (was %4.1f%%, "
-          "%s)%s\n",
-          static_cast<unsigned long long>(snap.window_epochs() + 1),
-          name.c_str(), 100.0 * e.share_now, 100.0 * e.previous_share, gbuf,
-          is_attack ? "  <-- planted burst" : "");
-      if (is_attack && e.share_now > 0.15) detected = true;
+      std::printf("  SUSTAINED in window %llu: %-28s %5.1f%% for %u+ epochs "
+                  "(baseline %4.1f%%, %s)%s\n",
+                  static_cast<unsigned long long>(snap.window_epochs() + 1),
+                  h.format(s.now.prefix).c_str(), 100.0 * s.min_run_share,
+                  s.run_epochs, 100.0 * s.baseline_share, gbuf,
+                  is_ramp ? "  <-- planted ramp: ALARM" : "");
     }
   };
   do {
@@ -129,24 +176,40 @@ int main(int argc, char** argv) {
       announced.clear();
       std::printf("window %llu sealed\n", static_cast<unsigned long long>(w));
     }
-    probe(eng->window_snapshot());
+    probe(eng->trend_snapshot());
     offered = eng->producer(0).offered() + eng->producer(1).offered();
   } while (offered < 2 * (packets / 2));  // each producer ingests packets/2
   for (std::thread& t : producers) t.join();
   eng->stop();
 
-  // Final look: the tail of the burst sits in the last (partial) window.
-  probe(eng->window_snapshot());
+  // Final look: the tail of the ramp sits in the last (partial) window and
+  // the ring still holds the 6 windows before it.
+  probe(eng->trend_snapshot());
+
+  // The ramp aggregate's share curve across the retained history.
+  const rhhh::TrendSnapshot last = eng->trend_snapshot();
+  const rhhh::Prefix ramp16 = h.generalize_to(ramp_bottom, h.node_index(2, 0));
+  std::printf("\nramp /16 share curve (oldest retained window -> live): ");
+  for (const rhhh::TrendPoint& tp : last.trend(ramp16)) {
+    std::printf("%.0f%% ", 100.0 * tp.share);
+  }
+  std::printf("\n");
 
   const rhhh::EngineStats s = eng->stats();
   std::printf(
       "\n%s after %llu windows (consumed=%llu dropped=%llu)\n"
-      "The alarm keys off *growth*: the backbone's stable heavy hitters\n"
-      "carry a similar share in both windows and stay quiet; only the\n"
-      "flood's aggregates emerge.\n",
-      detected ? "BURST DETECTED" : "burst NOT detected",
+      "%s\n"
+      "The sustained alarm keys off *persistent* growth over an EWMA\n"
+      "baseline: the one-epoch spike and the backbone's stable heavy\n"
+      "hitters never earn it; only the ramp does.\n",
+      ramp_sustained ? "SUSTAINED RAMP DETECTED" : "ramp NOT detected",
       static_cast<unsigned long long>(s.window_epochs),
       static_cast<unsigned long long>(s.consumed),
-      static_cast<unsigned long long>(s.dropped));
-  return 0;
+      static_cast<unsigned long long>(s.dropped),
+      spike_sustained
+          ? "SPIKE WRONGLY FLAGGED AS SUSTAINED"
+          : (spike_emerged
+                 ? "spike tripped only the one-shot emerging alarm -- correct"
+                 : "spike fell between polls (one-shot alarm not observed)"));
+  return spike_sustained ? 1 : 0;
 }

@@ -98,6 +98,11 @@ struct EngineConfig {
   /// wall-clock milliseconds. 0 disables the wall clock. Either clock (or
   /// manual HhhEngine::rotate_epoch() calls) drives the same rotation.
   std::uint32_t epoch_millis = 0;
+  /// Sealed windows each shard retains (>= 1). 1 is the classic
+  /// live/previous pair; larger K unlocks HhhEngine::trend_snapshot()'s
+  /// k-epoch growth curves and sustained-ramp alarms at the cost of K
+  /// extra lattices per shard.
+  std::size_t history_depth = 1;
 };
 
 class HhhEngine;  // engine/engine.hpp

@@ -4,48 +4,72 @@
 
 namespace rhhh {
 
-WindowedHhhMonitor::WindowedHhhMonitor(MonitorConfig cfg, std::uint64_t epoch_packets)
+WindowedHhhMonitor::WindowedHhhMonitor(MonitorConfig cfg, std::uint64_t epoch_packets,
+                                       std::size_t history_depth)
     : cfg_(cfg),
       epoch_packets_(epoch_packets),
       hierarchy_(std::make_unique<Hierarchy>(make_hierarchy(cfg.hierarchy))) {
   if (epoch_packets == 0) {
     throw std::invalid_argument("WindowedHhhMonitor: epoch_packets must be > 0");
   }
-  MonitorConfig prev_cfg = cfg_;
-  prev_cfg.seed = cfg_.seed + 1;  // independent randomness per instance
-  pair_ = EpochPair<HhhAlgorithm>(make_algorithm(*hierarchy_, cfg_),
-                                  make_algorithm(*hierarchy_, prev_cfg));
+  if (history_depth == 0) {
+    throw std::invalid_argument("WindowedHhhMonitor: history_depth must be >= 1");
+  }
+  // One instance per ring slot with independent randomness; slot 0 keeps
+  // the config's own seed so depth 1 reproduces the classic live/sealed
+  // pair byte for byte.
+  ring_ = WindowRing<HhhAlgorithm>(history_depth, [&](std::size_t slot) {
+    MonitorConfig slot_cfg = cfg_;
+    slot_cfg.seed = cfg_.seed + slot;
+    return make_algorithm(*hierarchy_, slot_cfg);
+  });
 }
 
 void WindowedHhhMonitor::maybe_rotate() {
-  if (pair_.live().stream_length() < epoch_packets_) return;
-  pair_.rotate();
+  if (ring_.live().stream_length() < epoch_packets_) return;
+  ring_.rotate();
 }
 
 void WindowedHhhMonitor::update(const PacketRecord& p) {
-  pair_.live().update(hierarchy_->key_of(p));
+  ring_.live().update(hierarchy_->key_of(p));
   maybe_rotate();
 }
 
 void WindowedHhhMonitor::update(Ipv4 src, Ipv4 dst) {
-  pair_.live().update(hierarchy_->dims() == 2 ? Key128::from_pair(src, dst)
+  ring_.live().update(hierarchy_->dims() == 2 ? Key128::from_pair(src, dst)
                                               : Key128::from_u32(src));
   maybe_rotate();
 }
 
+void WindowedHhhMonitor::update(Key128 key) {
+  ring_.live().update(key);
+  maybe_rotate();
+}
+
 HhhSet WindowedHhhMonitor::current(double theta) const {
-  return pair_.live().output(theta);
+  return ring_.live().output(theta);
 }
 
 HhhSet WindowedHhhMonitor::previous(double theta) const {
-  const HhhAlgorithm* sealed = pair_.sealed_or_null();
+  const HhhAlgorithm* sealed = ring_.sealed_or_null();
   if (sealed == nullptr) return HhhSet(hierarchy_->size());
   return sealed->output(theta);
 }
 
 std::vector<EmergingPrefix> WindowedHhhMonitor::emerging(double theta,
                                                          double growth_factor) const {
-  return emerging_from(pair_.live(), pair_.sealed_or_null(), theta, growth_factor);
+  return emerging_from(ring_.live(), ring_.sealed_or_null(), theta, growth_factor);
+}
+
+std::vector<TrendPoint> WindowedHhhMonitor::trend(const Prefix& p) const {
+  return trend_of(windows_oldest_first(), p);
+}
+
+std::vector<SustainedPrefix> WindowedHhhMonitor::emerging_sustained(
+    double theta, double growth_factor, std::uint32_t min_epochs,
+    double alpha) const {
+  return emerging_sustained_from(windows_oldest_first(), theta, growth_factor,
+                                 min_epochs, alpha);
 }
 
 }  // namespace rhhh

@@ -71,19 +71,26 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
     throw std::invalid_argument("HhhEngine: producers must be >= 1");
   }
   if (cfg.batch == 0) throw std::invalid_argument("HhhEngine: batch must be >= 1");
+  if (cfg.history_depth == 0) {
+    throw std::invalid_argument("HhhEngine: history_depth must be >= 1");
+  }
   // Throws for the (unmergeable) trie algorithms.
   std::tie(mode_, params_) = lattice_config_of(*hierarchy_, cfg.monitor);
   static_assert(RhhhSpaceSaving::backend_mergeable(),
                 "engine snapshots require a mergeable backend");
 
   pop_batch_ = std::clamp<std::size_t>(cfg.batch, 1, 4096);
+  sealed_drops_.assign(cfg.history_depth, 0);
   workers_.reserve(cfg.workers);
   for (std::uint32_t w = 0; w < cfg.workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
-    // Live and sealed sides of the window pair get distinct RNG streams;
-    // both stay merge-compatible with every other shard by construction.
-    ws->pair = EpochPair<RhhhSpaceSaving>(make_shard_lattice(0x5eed0000ULL + w),
-                                          make_shard_lattice(0x5eed2000ULL + w));
+    // Every ring slot gets a distinct RNG stream; all slots stay
+    // merge-compatible with every other shard by construction. The salt
+    // spacing keeps depth-1 rings byte-identical to the original
+    // live/sealed pair (slots 0x5eed0000 + w and 0x5eed2000 + w).
+    ws->ring = WindowRing<RhhhSpaceSaving>(cfg.history_depth, [&](std::size_t slot) {
+      return make_shard_lattice(0x5eed0000ULL + 0x2000ULL * slot + w);
+    });
     workers_.push_back(std::move(ws));
   }
   const std::size_t n_rings = std::size_t{cfg.producers} * cfg.workers;
@@ -170,7 +177,7 @@ void HhhEngine::stop() {
 
 std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
   WorkerState& ws = *workers_[w];
-  RhhhSpaceSaving& lattice = ws.pair.live();
+  RhhhSpaceSaving& lattice = ws.ring.live();
   std::size_t total = 0;
   for (std::uint32_t p = 0; p < producers(); ++p) {
     const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
@@ -197,7 +204,7 @@ void HhhEngine::worker_loop(std::uint32_t w) {
       // Bounding the drain by the observed size keeps quiesce terminating
       // even while producers keep pushing -- later arrivals simply belong
       // to the next epoch.
-      RhhhSpaceSaving& lattice = ws.pair.live();
+      RhhhSpaceSaving& lattice = ws.ring.live();
       for (std::uint32_t p = 0; p < producers(); ++p) {
         SpscRing<Key128>& r = ring(p, w);
         std::size_t left = r.size_approx();
@@ -356,7 +363,7 @@ EngineSnapshot HhhEngine::snapshot() {
   const std::uint64_t e = quiesced([&] {
     merged = make_shard_lattice(0x6e7a9000ULL ^
                                 epoch_req_.load(std::memory_order_relaxed));
-    for (const auto& ws : workers_) merged->merge(ws->pair.live());
+    for (const auto& ws : workers_) merged->merge(ws->ring.live());
     s = collect_stats();
     // A dropped record was still offered on the wire: fold drops into N so
     // thresholds and slack terms see the full stream, exactly like
@@ -368,12 +375,14 @@ EngineSnapshot HhhEngine::snapshot() {
 
 void HhhEngine::rotate_locked() {
   quiesced([&] {
-    for (auto& ws : workers_) ws->pair.rotate();
+    for (auto& ws : workers_) ws->ring.rotate();
     std::uint64_t d = 0;
     for (const auto& dr : ring_dropped_) d += dr->load(std::memory_order_relaxed);
     // Drops since the last boundary happened while the just-sealed window
-    // was live: attribute them to it.
-    sealed_window_drops_ = d - win_drops_base_;
+    // was live: attribute them to it. The per-window drop ring ages in
+    // lockstep with the shard rings (newest first, oldest falls off).
+    sealed_drops_.insert(sealed_drops_.begin(), d - win_drops_base_);
+    sealed_drops_.resize(cfg_.history_depth);
     win_drops_base_ = d;
     win_processed_base_.store(processed_total(), std::memory_order_relaxed);
     win_started_ns_.store(
@@ -400,19 +409,52 @@ WindowedEngineSnapshot HhhEngine::window_snapshot() {
   quiesced([&] {
     const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
     cur = make_shard_lattice(0x6e7a9000ULL ^ e);
-    for (const auto& ws : workers_) cur->merge(ws->pair.live());
+    for (const auto& ws : workers_) cur->merge(ws->ring.live());
     s = collect_stats();
     cur_drops = s.dropped - win_drops_base_;
     if (cur_drops != 0) cur->advance_stream(cur_drops);
     if (we != 0) {
       prev = make_shard_lattice(0x6e7ab000ULL ^ e);
-      for (const auto& ws : workers_) prev->merge(ws->pair.sealed());
-      prev_drops = sealed_window_drops_;
+      for (const auto& ws : workers_) prev->merge(ws->ring.sealed(0));
+      prev_drops = sealed_drops_[0];
       if (prev_drops != 0) prev->advance_stream(prev_drops);
     }
   });
   return WindowedEngineSnapshot(std::move(cur), std::move(prev), std::move(s), we,
                                 cur_drops, prev_drops);
+}
+
+TrendSnapshot HhhEngine::trend_snapshot() {
+  std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  std::unique_ptr<RhhhSpaceSaving> cur;
+  std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed;
+  std::vector<std::uint64_t> sealed_drops;
+  EngineStats s;
+  std::uint64_t cur_drops = 0;
+  // Rotations hold snap_mu_ too, so the window count is stable here.
+  const std::uint64_t we = window_epochs_.load(std::memory_order_relaxed);
+  quiesced([&] {
+    const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
+    cur = make_shard_lattice(0x6e7a9000ULL ^ e);
+    for (const auto& ws : workers_) cur->merge(ws->ring.live());
+    s = collect_stats();
+    cur_drops = s.dropped - win_drops_base_;
+    if (cur_drops != 0) cur->advance_stream(cur_drops);
+    // All shards rotate on one shared boundary, so age i of every shard
+    // ring covers the same network-wide epoch: merge index-aligned.
+    const std::size_t m = workers_[0]->ring.sealed_count();
+    sealed.reserve(m);
+    sealed_drops.reserve(m);
+    for (std::size_t age = 0; age < m; ++age) {
+      auto merged = make_shard_lattice((0x6e7ab000ULL + (age << 20)) ^ e);
+      for (const auto& ws : workers_) merged->merge(ws->ring.sealed(age));
+      if (sealed_drops_[age] != 0) merged->advance_stream(sealed_drops_[age]);
+      sealed.push_back(std::move(merged));
+      sealed_drops.push_back(sealed_drops_[age]);
+    }
+  });
+  return TrendSnapshot(std::move(cur), std::move(sealed), std::move(sealed_drops),
+                       std::move(s), we, cur_drops);
 }
 
 std::unique_ptr<HhhEngine> make_engine(const EngineConfig& cfg) {

@@ -14,29 +14,37 @@
 // worker pair owns a dedicated SpscRing, so each ring stays strictly
 // single-producer/single-consumer; producers batch records locally and push
 // with try_push_n to amortize the ring atomics. Each worker owns a private
-// live/sealed LatticeHhh pair (core/epoch_pair.hpp; no shared state on the
-// packet path) and consumes its M rings with try_pop_n. All control
-// operations run through one quiesce mechanism: workers park at the next
-// epoch boundary (each drains its visible ring backlog first), the
-// coordinator operates on the shard lattices, and workers resume.
+// ring of one live plus K sealed window lattices (core/window_ring.hpp,
+// K = EngineConfig::history_depth; no shared state on the packet path) and
+// consumes its M rings with try_pop_n. All control operations run through
+// one quiesce mechanism: workers park at the next epoch boundary (each
+// drains its visible ring backlog first), the coordinator operates on the
+// shard lattices, and workers resume.
 //
-// Three operations use it:
+// Four operations use it:
 //   * snapshot()        -- merge the live lattices (LatticeHhh::merge, the
 //                          multi-switch collector of paper Section 7) into
 //                          one instance whose stream length N spans every
 //                          shard plus counted drops. The lifetime view when
 //                          no window rotation is used; the current-window
 //                          view otherwise.
-//   * rotate_epoch()    -- seal the current window: every shard swaps its
-//                          live/sealed pair on the shared boundary. Driven
+//   * rotate_epoch()    -- seal the current window: every shard rotates its
+//                          window ring on the shared boundary. Driven
 //                          manually, or automatically by the coordinator
 //                          clock (EngineConfig::epoch_packets /
 //                          epoch_millis) from a background thread.
-//   * window_snapshot() -- merge both sides of every pair into a
-//                          current-window and a previous-window lattice,
-//                          with each window's drops folded into its N:
-//                          the WindowedHhhMonitor semantics
-//                          (current/previous/emerging) at engine scale.
+//   * window_snapshot() -- merge the live side and the newest sealed side
+//                          of every ring into a current-window and a
+//                          previous-window lattice, with each window's
+//                          drops folded into its N: the WindowedHhhMonitor
+//                          semantics (current/previous/emerging) at engine
+//                          scale.
+//   * trend_snapshot()  -- merge every retained sealed window index-aligned
+//                          across shards (shared rotation boundary => ring
+//                          slot i of every shard covers the same epoch)
+//                          into one network-wide lattice per epoch: the
+//                          monitor's trend()/emerging_sustained() k-epoch
+//                          queries at engine scale.
 //
 // Accounting: drops are counted per ring (OverflowPolicy::kDropTail, the
 // saturated-port semantics of the distributed deployment), pushes and pops
@@ -55,8 +63,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/epoch_pair.hpp"
 #include "core/monitor.hpp"
+#include "core/window_ring.hpp"
 #include "engine/shard_router.hpp"
 #include "engine/snapshot.hpp"
 #include "hhh/lattice_hhh.hpp"
@@ -140,21 +148,29 @@ class HhhEngine {
   /// quiesce needed once workers are gone).
   [[nodiscard]] EngineSnapshot snapshot();
 
-  /// Close the current window on a shared boundary: quiesce, swap every
-  /// shard's live/sealed lattice pair (the previous sealed window is
-  /// discarded), attribute the drops counted since the last boundary to the
+  /// Close the current window on a shared boundary: quiesce, rotate every
+  /// shard's window ring (the oldest retained sealed window is discarded),
+  /// attribute the drops counted since the last boundary to the newly
   /// sealed window, resume. The coordinator clock calls this automatically
   /// when EngineConfig::epoch_packets / epoch_millis are set; manual calls
   /// compose with the clock (the packet/wall budgets reset either way).
   void rotate_epoch();
 
   /// Two-window network-wide query: quiesce, merge the live sides of every
-  /// pair into a current-window lattice and the sealed sides into a
+  /// ring into a current-window lattice and the newest sealed sides into a
   /// previous-window lattice (absent before the first rotation), fold each
   /// window's drops into its stream length, resume. Does NOT rotate --
   /// observing is separate from sealing, so several window snapshots can
   /// watch one window evolve.
   [[nodiscard]] WindowedEngineSnapshot window_snapshot();
+
+  /// K-window network-wide query: quiesce, merge every retained sealed
+  /// window of every shard index-aligned (all shards rotate together, so
+  /// age i covers the same epoch on every shard) plus the live window,
+  /// fold each window's own drops into its stream length, resume. Answers
+  /// trend() and emerging_sustained() over up to
+  /// EngineConfig::history_depth sealed epochs. Does NOT rotate.
+  [[nodiscard]] TrendSnapshot trend_snapshot();
 
   /// Live ingest counters (no quiesce; individually-consistent atomics).
   [[nodiscard]] EngineStats stats() const;
@@ -184,17 +200,27 @@ class HhhEngine {
   /// when quiescent (before start(), after stop(), or from test code that
   /// knows better).
   [[nodiscard]] const RhhhSpaceSaving& shard(std::uint32_t w) const noexcept {
-    return workers_[w]->pair.live();
+    return workers_[w]->ring.live();
   }
-  /// The sealed (previous-window) shard lattice of worker `w`, or nullptr
-  /// before the first rotation. Same quiescence caveat as shard().
+  /// The newest sealed (previous-window) shard lattice of worker `w`, or
+  /// nullptr before the first rotation. Same quiescence caveat as shard().
   [[nodiscard]] const RhhhSpaceSaving* shard_sealed(std::uint32_t w) const noexcept {
-    return workers_[w]->pair.sealed_or_null();
+    return workers_[w]->ring.sealed_or_null();
+  }
+  /// The sealed shard lattice of worker `w` from `age` epochs back (0 =
+  /// newest). Requires age < shard_sealed_windows(). Same quiescence caveat.
+  [[nodiscard]] const RhhhSpaceSaving& shard_sealed(std::uint32_t w,
+                                                    std::size_t age) const noexcept {
+    return workers_[w]->ring.sealed(age);
+  }
+  /// Sealed windows currently populated in every shard's ring.
+  [[nodiscard]] std::size_t shard_sealed_windows() const noexcept {
+    return workers_[0]->ring.sealed_count();
   }
 
  private:
   struct WorkerState {
-    EpochPair<RhhhSpaceSaving> pair;  ///< live + sealed window lattices
+    WindowRing<RhhhSpaceSaving> ring;  ///< live + K sealed window lattices
     std::thread thread;
     std::uint64_t epoch_acked = 0;  ///< guarded by ctl_mu_
     alignas(kCacheLine) std::atomic<std::uint64_t> consumed{0};
@@ -249,8 +275,11 @@ class HhhEngine {
   // clock metering its budget without touching snap_mu_ until a rotation
   // is actually due (so frequent snapshots cannot starve it).
   std::atomic<std::uint64_t> window_epochs_{0};
-  std::uint64_t win_drops_base_ = 0;      ///< total drops at the last rotation
-  std::uint64_t sealed_window_drops_ = 0; ///< drops during the sealed window
+  std::uint64_t win_drops_base_ = 0;  ///< total drops at the last rotation
+  /// Drops attributed to each retained sealed window, by age (index 0 = the
+  /// newest sealed window); size == cfg_.history_depth, slots beyond
+  /// shard_sealed_windows() are zero. Written under snap_mu_.
+  std::vector<std::uint64_t> sealed_drops_;
   std::atomic<std::uint64_t> win_processed_base_{0};  ///< processed at boundary
   std::atomic<std::int64_t> win_started_ns_{0};  ///< boundary steady-clock ns
   /// Bumped by stop() to retire the current clock thread. stop() joins the

@@ -1,18 +1,26 @@
-// EngineSnapshot / WindowedEngineSnapshot: the results of quiescing the
-// sharded engine at an epoch boundary.
+// EngineSnapshot / WindowedEngineSnapshot / TrendSnapshot: the results of
+// quiescing the sharded engine at an epoch boundary.
 //
 // EngineSnapshot is the lifetime view -- one merged LatticeHhh over every
 // shard's sub-stream plus the ingest counters frozen at the same instant,
 // answering network-wide (all shards, all producers) exactly like the
 // multi-switch collector of examples/multi_switch_merge.cpp.
 //
-// WindowedEngineSnapshot is the change-detection view: when the engine
-// rotates window epochs (coordinator clock or rotate_epoch()), each shard
-// keeps a live/sealed lattice pair and the snapshot merges both sides --
-// the current (partial) window and the sealed previous window -- into two
-// network-wide lattices, with the drops of each window folded into its
-// stream length. current()/previous()/emerging() then mirror the
-// single-threaded WindowedHhhMonitor at multi-core scale.
+// WindowedEngineSnapshot is the two-window change-detection view: when the
+// engine rotates window epochs (coordinator clock or rotate_epoch()), each
+// shard keeps a ring of window lattices and the snapshot merges the live
+// sides and the newest sealed sides -- the current (partial) window and
+// the sealed previous window -- into two network-wide lattices, with the
+// drops of each window folded into its stream length.
+// current()/previous()/emerging() then mirror the single-threaded
+// WindowedHhhMonitor at multi-core scale.
+//
+// TrendSnapshot is the K-window view: every retained sealed window of
+// every shard is merged index-aligned (all shards rotate on one shared
+// boundary, so sealed(i) of every shard covers the same epoch) into one
+// network-wide lattice per epoch, each with its own window's drops folded
+// into its stream length. trend()/emerging_sustained() then mirror the
+// monitor's k-epoch growth curves and EWMA sustained-ramp alarms.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +28,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/epoch_pair.hpp"
+#include "core/window_ring.hpp"
 #include "hhh/lattice_hhh.hpp"
 
 namespace rhhh {
@@ -133,6 +141,103 @@ class WindowedEngineSnapshot {
   std::uint64_t window_epochs_;
   std::uint64_t current_drops_;
   std::uint64_t previous_drops_;
+};
+
+/// The K-window network-wide view produced by HhhEngine::trend_snapshot():
+/// one merged lattice per retained epoch (each shard ring's sealed windows
+/// merged index-aligned) plus the live (partial) window, every window's
+/// drops folded into its stream length. Sealed windows are indexed by age:
+/// window 0 is the most recently sealed epoch.
+class TrendSnapshot {
+ public:
+  TrendSnapshot(std::unique_ptr<RhhhSpaceSaving> current,
+                std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed,
+                std::vector<std::uint64_t> sealed_drops, EngineStats stats,
+                std::uint64_t window_epochs, std::uint64_t current_drops)
+      : current_(std::move(current)),
+        sealed_(std::move(sealed)),
+        sealed_drops_(std::move(sealed_drops)),
+        stats_(std::move(stats)),
+        window_epochs_(window_epochs),
+        current_drops_(current_drops) {}
+
+  /// Sealed epochs retained in this snapshot (<= EngineConfig::history_depth).
+  [[nodiscard]] std::size_t sealed_windows() const noexcept { return sealed_.size(); }
+
+  /// Network-wide HHH set of the current (partial) window.
+  [[nodiscard]] HhhSet current(double theta) const { return current_->output(theta); }
+  /// Network-wide HHH set of the sealed window `age` epochs back (0 = the
+  /// most recently sealed). Requires age < sealed_windows().
+  [[nodiscard]] HhhSet window(std::size_t age, double theta) const {
+    return sealed_[age]->output(theta);
+  }
+
+  /// The prefix's per-epoch share curve, ordered oldest retained epoch ->
+  /// ... -> newest sealed epoch -> live window (sealed_windows() + 1
+  /// points) -- WindowedHhhMonitor::trend at engine scale.
+  [[nodiscard]] std::vector<TrendPoint> trend(const Prefix& p) const {
+    return trend_of(ordered_windows(), p);
+  }
+  /// Two-window emerging comparison against the most recently sealed epoch
+  /// (WindowedHhhMonitor::emerging semantics).
+  [[nodiscard]] std::vector<EmergingPrefix> emerging(double theta,
+                                                     double growth_factor) const {
+    return emerging_from(*current_,
+                         sealed_.empty() ? nullptr : sealed_.front().get(), theta,
+                         growth_factor);
+  }
+  /// EWMA-baseline sustained-growth alarms over the whole retained history
+  /// (see emerging_sustained_from in core/window_ring.hpp).
+  [[nodiscard]] std::vector<SustainedPrefix> emerging_sustained(
+      double theta, double growth_factor, std::uint32_t min_epochs,
+      double alpha = 0.5) const {
+    return emerging_sustained_from(ordered_windows(), theta, growth_factor,
+                                   min_epochs, alpha);
+  }
+
+  /// N of the current window (shard sub-streams + this window's drops).
+  [[nodiscard]] std::uint64_t current_length() const {
+    return current_->stream_length();
+  }
+  /// N of the sealed window `age` epochs back (its drops already folded in).
+  [[nodiscard]] std::uint64_t window_length(std::size_t age) const {
+    return sealed_[age]->stream_length();
+  }
+  /// Drops attributed to each window (already folded into the lengths).
+  [[nodiscard]] std::uint64_t current_drops() const noexcept { return current_drops_; }
+  [[nodiscard]] std::uint64_t window_drops(std::size_t age) const {
+    return sealed_drops_[age];
+  }
+
+  [[nodiscard]] const RhhhSpaceSaving& current_algorithm() const noexcept {
+    return *current_;
+  }
+  [[nodiscard]] const RhhhSpaceSaving& window_algorithm(std::size_t age) const {
+    return *sealed_[age];
+  }
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  /// Completed window rotations when this snapshot was taken.
+  [[nodiscard]] std::uint64_t window_epochs() const noexcept { return window_epochs_; }
+
+ private:
+  [[nodiscard]] std::vector<const HhhAlgorithm*> ordered_windows() const {
+    std::vector<const HhhAlgorithm*> out;
+    out.reserve(sealed_.size() + 1);
+    for (std::size_t age = sealed_.size(); age-- > 0;) {
+      out.push_back(sealed_[age].get());
+    }
+    out.push_back(current_.get());
+    return out;
+  }
+
+  std::unique_ptr<RhhhSpaceSaving> current_;
+  /// Merged sealed windows by age (0 = newest sealed epoch).
+  std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed_;
+  std::vector<std::uint64_t> sealed_drops_;  ///< [age], parallel to sealed_
+  EngineStats stats_;
+  std::uint64_t window_epochs_;
+  std::uint64_t current_drops_;
 };
 
 }  // namespace rhhh

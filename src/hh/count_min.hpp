@@ -106,6 +106,38 @@ class CountMinHh {
     total_ = 0;
   }
 
+  /// Merge another sketch observing a *different* stream (mergeable-
+  /// summaries semantics): Count-Min is a linear sketch, so the combined
+  /// sketch is the element-wise sum of the counter arrays and every
+  /// estimation guarantee carries over to the combined stream at the
+  /// combined N. Requires identical dimensions AND per-row hash seeds
+  /// (cells must mean the same thing on both sides); throws
+  /// std::invalid_argument otherwise. Candidate lists are re-ranked
+  /// against the merged counters.
+  void merge(const CountMinHh& other) {
+    if (width_ != other.width_ || depth_ != other.depth_ ||
+        row_seed_ != other.row_seed_) {
+      throw std::invalid_argument(
+          "CountMinHh::merge: incompatible sketch dimensions or hash seeds");
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i] += other.rows_[i];
+    total_ += other.total_;
+    // Snapshot both candidate sets BEFORE mutating tracked_ (track() can
+    // prune mid-stream, and `other` may alias *this on a self-merge --
+    // same convention as SpaceSaving::merge), then re-rank everything
+    // against the merged counters: stored estimates are only used for
+    // pruning, but stale pre-merge values would bias evictions.
+    std::vector<Key> candidates;
+    candidates.reserve(tracked_.size() + other.tracked_.size());
+    tracked_.for_each(
+        [&](const Key& k, const std::uint64_t&) { candidates.push_back(k); });
+    if (&other != this) {
+      other.tracked_.for_each(
+          [&](const Key& k, const std::uint64_t&) { candidates.push_back(k); });
+    }
+    for (const Key& k : candidates) track(k, upper(k));
+  }
+
  private:
   [[nodiscard]] std::size_t slot(std::uint64_t h, std::size_t d) const noexcept {
     return static_cast<std::size_t>(mix64(h ^ row_seed_[d]) % width_);

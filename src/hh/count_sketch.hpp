@@ -119,6 +119,32 @@ class CountSketchHh {
     total_ = 0;
   }
 
+  /// Merge another sketch observing a *different* stream: Count Sketch is a
+  /// linear sketch, so the combined sketch is the element-wise sum of the
+  /// signed counter arrays (signs are a function of the hash seeds, which
+  /// must match) and the unbiased median estimate carries over to the
+  /// combined stream. Requires identical dimensions and per-row hash
+  /// seeds; throws std::invalid_argument otherwise. The candidate list is
+  /// re-pruned against the merged rows.
+  void merge(const CountSketchHh& other) {
+    if (width_ != other.width_ || depth_ != other.depth_ ||
+        row_seed_ != other.row_seed_) {
+      throw std::invalid_argument(
+          "CountSketchHh::merge: incompatible sketch dimensions or hash seeds");
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i] += other.rows_[i];
+    total_ += other.total_;
+    // track() prunes by re-estimating against the merged rows, so offering
+    // the other side's candidates keeps the strongest of both. Snapshot the
+    // keys first: track() mutates tracked_, and `other` may alias *this on
+    // a self-merge (same convention as SpaceSaving::merge).
+    std::vector<Key> candidates;
+    candidates.reserve(other.tracked_.size());
+    other.tracked_.for_each(
+        [&](const Key& k, const std::uint64_t&) { candidates.push_back(k); });
+    for (const Key& k : candidates) track(k);
+  }
+
  private:
   void track(const Key& k) {
     tracked_.insert_or_assign(k, 1);

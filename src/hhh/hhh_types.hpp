@@ -79,7 +79,7 @@ class HhhAlgorithm {
   [[nodiscard]] virtual HhhSet output(double theta) const = 0;
   /// Conservative point estimate of f_p for an arbitrary prefix, usable
   /// without materializing an HHH set -- what the emerging-aggregate
-  /// comparison (core/epoch_pair.hpp) probes the sealed epoch with. At
+  /// comparison (core/window_ring.hpp) probes the sealed epoch with. At
   /// least as large as the f_hi output() would report for the prefix; the
   /// same accuracy guarantee as output() applies (an eps*N-style bound,
   /// not a hard upper bound for every implementation -- see

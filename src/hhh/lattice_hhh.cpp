@@ -55,8 +55,9 @@ LatticeHhh<Backend>::LatticeHhh(const Hierarchy& h, LatticeMode mode, LatticePar
   cfg.eps_a = 1.0 / static_cast<double>(counters_);
   cfg.delta_a = delta_a_;
   hh_.reserve(H_);
+  const std::uint64_t bseed = p_.backend_seed != 0 ? p_.backend_seed : p_.seed;
   for (std::uint32_t d = 0; d < H_; ++d) {
-    cfg.seed = mix64(p_.seed ^ (0x5851f42d4c957f2dULL + d));
+    cfg.seed = mix64(bseed ^ (0x5851f42d4c957f2dULL + d));
     hh_.push_back(Backend::make(cfg));
   }
 

@@ -46,6 +46,14 @@ struct LatticeParams {
   std::uint32_t r = 1;  ///< independent updates per packet (Corollary 6.8)
   std::uint64_t seed = 1;
   std::size_t counters_override = 0;  ///< nonzero: explicit per-node capacity
+  /// Nonzero: base seed for the per-node backend instances, decoupled from
+  /// `seed` (which keeps driving the RHHH sampling RNG). Shard-style
+  /// deployments of hash-keyed backends (the Count-Min / Count Sketch
+  /// linear sketches) need identical backend hash functions on every shard
+  /// for element-wise merge() while still drawing independent sampling
+  /// streams per shard: pin backend_seed engine-wide and vary seed. 0 (the
+  /// default) derives backend seeds from `seed` as before.
+  std::uint64_t backend_seed = 0;
 };
 
 template <class Backend>
@@ -106,16 +114,20 @@ class LatticeHhh final : public HhhAlgorithm {
   /// data from multiple network devices"). Requires identical hierarchy,
   /// mode, V and r (so per-node estimates share one scale); throws
   /// std::invalid_argument otherwise. Only available for backends that
-  /// support merging (Space-Saving).
+  /// support merging (Space-Saving and the Count-Min / Count Sketch linear
+  /// sketches; the sketches additionally require matching hash seeds --
+  /// pin LatticeParams::backend_seed across shards -- and throw per node
+  /// otherwise).
   void merge(const LatticeHhh& other);
 
-  /// True iff the backend supports merge() at all (Space-Saving does; the
-  /// sketch/exact backends currently do not).
+  /// True iff the backend supports merge() at all (Space-Saving and the
+  /// linear sketches do; the windowed/exact backends currently do not).
   [[nodiscard]] static constexpr bool backend_mergeable() noexcept {
     return requires(Backend& b, const Backend& o) { b.merge(o); };
   }
   /// True iff merge(other) would be accepted: same hierarchy shape, mode,
-  /// V and r. Seeds may differ (and should, across shards).
+  /// V and r. Sampling seeds may differ (and should, across shards);
+  /// hash-keyed backends additionally enforce seed alignment themselves.
   [[nodiscard]] bool mergeable_with(const LatticeHhh& other) const noexcept {
     return H_ == other.H_ && h_->name() == other.h_->name() &&
            mode_ == other.mode_ && V_ == other.V_ && p_.r == other.p_.r;

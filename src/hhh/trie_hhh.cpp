@@ -45,6 +45,7 @@ void TrieHhh::insert_node(const Prefix& p, const Prefix& parent, bool parent_val
 void TrieHhh::update_weighted(Key128 x, std::uint64_t w) {
   if (w == 0) return;
   n_ += w;
+  mass_index_dirty_ = true;  // the only hot-path cost of the estimate index
 
   Prefix cur{h_->bottom(), h_->mask_key(h_->bottom(), x)};
   if (std::uint32_t* slot = index_.find(cur)) {
@@ -122,22 +123,39 @@ void TrieHhh::compress() {
   }
 }
 
+void TrieHhh::rebuild_mass_index() const {
+  // Counted mass per *lattice* prefix: every tracked node contributes its g
+  // to all of its lattice ancestors, so (unlike the canonical-parent tree)
+  // off-chain aggregates such as (*, d) in two dimensions are estimated too.
+  mass_index_.clear();
+  const std::size_t H = h_->size();
+  for (std::uint32_t s = 0; s < pool_.size(); ++s) {
+    const TrieNode& n = pool_[s];
+    if (!n.live || n.g == 0) continue;
+    for (std::uint32_t a = 0; a < H; ++a) {
+      if (h_->node_generalizes(a, n.self.node)) {
+        mass_index_[Prefix{a, h_->mask_key(a, n.self.key)}] += n.g;
+      }
+    }
+  }
+  mass_index_dirty_ = false;
+}
+
 double TrieHhh::estimate(const Prefix& p) const {
   if (n_ == 0) return 0.0;
   // Every arrival is counted (g) at exactly one tracked node, and
   // compression folds a removed node's g into its parent: the mass of any
   // prefix is the sum over tracked nodes it generalizes, undercounting by
   // at most epoch - 1 (the lossy-counting bound output() uses as slack).
-  std::uint64_t f = 0;
-  for (const TrieNode& n : pool_) {
-    if (n.live && n.g != 0 && h_->generalizes(p, n.self)) f += n.g;
-  }
+  // The per-prefix sums live in mass_index_, rebuilt lazily after updates.
+  if (mass_index_dirty_) rebuild_mass_index();
+  const std::uint64_t* f = mass_index_.find(p);
   // A prefix with zero tracked evidence reports 0, not the bare slack:
   // emerging_from() treats a zero previous share as "brand new, infinite
   // growth", and a slack-only floor would silently suppress exactly those
   // alarms on trie-backed windowed monitors.
-  if (f == 0) return 0.0;
-  return static_cast<double>(f) + static_cast<double>(epoch_ - 1);
+  if (f == nullptr || *f == 0) return 0.0;
+  return static_cast<double>(*f) + static_cast<double>(epoch_ - 1);
 }
 
 HhhSet TrieHhh::output(double theta) const {
@@ -148,20 +166,9 @@ HhhSet TrieHhh::output(double theta) const {
   // ~ eps*N arrivals across insertion lag and compressions.
   const double slack = static_cast<double>(epoch_ - 1);
 
-  // Counted mass per *lattice* prefix: every tracked node contributes its g
-  // to all of its lattice ancestors, so (unlike the canonical-parent tree)
-  // off-chain aggregates such as (*, d) in two dimensions are estimated too.
-  FlatHashMap<Prefix, std::uint64_t, PrefixHash> counted(4 * live_ + 16);
+  if (mass_index_dirty_) rebuild_mass_index();
+  const auto& counted = mass_index_;
   const std::size_t H = h_->size();
-  for (std::uint32_t s = 0; s < pool_.size(); ++s) {
-    const TrieNode& n = pool_[s];
-    if (!n.live || n.g == 0) continue;
-    for (std::uint32_t a = 0; a < H; ++a) {
-      if (h_->node_generalizes(a, n.self.node)) {
-        counted[Prefix{a, h_->mask_key(a, n.self.key)}] += n.g;
-      }
-    }
-  }
 
   const UpperEstimate upper = [&](const Prefix& q) {
     const std::uint64_t* f = counted.find(q);
@@ -231,6 +238,8 @@ bool TrieHhh::validate() const {
 
 void TrieHhh::clear() {
   index_.clear();
+  mass_index_.clear();
+  mass_index_dirty_ = true;
   pool_.clear();
   free_.clear();
   live_ = 0;

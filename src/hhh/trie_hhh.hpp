@@ -48,7 +48,12 @@ class TrieHhh final : public HhhAlgorithm {
   [[nodiscard]] HhhSet output(double theta) const override;
   /// Counted mass of every tracked node under p plus the lossy-counting
   /// undercount bound (epoch - 1) -- exactly the f_hi output() computes
-  /// for p. O(tracked nodes). Note: with kPartial, arrivals counted at
+  /// for p. O(1) per probe against a per-node mass index that is rebuilt
+  /// lazily after mutations (O(tracked x H) once per update batch, shared
+  /// with output()), so estimate-heavy workloads -- the emerging-prefix
+  /// probes and k-epoch trend queries over sealed windows -- pay the
+  /// rebuild once and every probe after that is a hash lookup. The update
+  /// path only flips a dirty bit. Note: with kPartial, arrivals counted at
   /// *ancestors* of p during lazy path expansion are not included (the
   /// same holds for output()'s f_hi), so early-stream estimates can trail
   /// the true count by more than the slack until the paths are built.
@@ -87,6 +92,9 @@ class TrieHhh final : public HhhAlgorithm {
   void insert_node(const Prefix& p, const Prefix& parent, bool parent_valid,
                    std::uint64_t g, std::uint64_t delta);
   void compress();
+  /// (Re)build mass_index_: counted mass per *lattice* prefix, every
+  /// tracked node contributing its g to all of its lattice ancestors.
+  void rebuild_mass_index() const;
 
   const Hierarchy* h_;
   AncestryMode mode_;
@@ -100,6 +108,12 @@ class TrieHhh final : public HhhAlgorithm {
   std::size_t live_ = 0;
 
   FlatHashMap<Prefix, std::uint32_t, PrefixHash> index_{1024};
+  /// Per-(lattice node, masked key) counted-mass index serving estimate()
+  /// probes and output()'s candidate enumeration. Lazily rebuilt: updates
+  /// only mark it dirty, the first query after a mutation pays the rebuild.
+  /// Mutable cache -- the monitor/trie is single-threaded by contract.
+  mutable FlatHashMap<Prefix, std::uint64_t, PrefixHash> mass_index_{1024};
+  mutable bool mass_index_dirty_ = true;
   std::vector<TrieNode> pool_;
   std::vector<std::uint32_t> free_;
   std::vector<Prefix> chain_scratch_;  // avoids per-update allocation

@@ -5,9 +5,12 @@
 // producer/worker thread stress (the W>=4 case CI runs under ASan/UBSan).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -459,6 +462,323 @@ TEST(WindowedEngine, NoPreviousWindowBeforeFirstRotation) {
   EXPECT_EQ(snap.previous_length(), 0u);
   EXPECT_TRUE(snap.previous(0.01).empty());
   EXPECT_TRUE(snap.emerging(0.5, 2.0).empty()) << "no traffic, nothing emerges";
+}
+
+// ------------------------------------------- K-deep trend snapshots ----
+
+TEST(TrendEngine, HistoryDepthValidation) {
+  EngineConfig cfg;
+  cfg.history_depth = 0;
+  EXPECT_THROW(HhhEngine{cfg}, std::invalid_argument);
+  cfg.history_depth = 1;
+  HhhEngine eng(cfg);
+  EXPECT_EQ(eng.config().history_depth, 1u);
+}
+
+TEST(TrendEngine, TrendBeforeAnyRotationIsLiveOnly) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.history_depth = 4;
+  HhhEngine eng(cfg);  // never started, never rotated
+  const TrendSnapshot snap = eng.trend_snapshot();
+  EXPECT_EQ(snap.sealed_windows(), 0u);
+  EXPECT_EQ(snap.window_epochs(), 0u);
+  const Prefix root{eng.hierarchy().top(), Key128{}};
+  EXPECT_EQ(snap.trend(root).size(), 1u);
+  EXPECT_TRUE(snap.emerging(0.5, 2.0).empty());
+  EXPECT_TRUE(snap.emerging_sustained(0.5, 2.0, 2).empty());
+}
+
+TEST(TrendEngine, IndexAlignedMultiShardTrendMerges) {
+  // Three shards, depth 3, deterministic MST: every per-epoch share below
+  // is exact. Keys hash to different shards, so each sealed epoch's
+  // network-wide lattice only reconstructs correctly if every shard
+  // contributes its ring slot of the SAME age (index alignment); mixing
+  // ages would bleed mass across epochs and break the exact counts.
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.producers = 1;
+  cfg.history_depth = 3;
+  cfg.monitor.algorithm = AlgorithmKind::kMst;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  const Key128 a = Key128::from_pair(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1));
+  const Key128 b = Key128::from_pair(ipv4(20, 0, 0, 2), ipv4(2, 2, 2, 2));
+  const Key128 c = Key128::from_pair(ipv4(30, 0, 0, 3), ipv4(3, 3, 3, 3));
+
+  // Epoch 1: A=12000 B=6000. Epoch 2: B=9000. Epoch 3: A=3000 C=3000.
+  // Live: A=8000.
+  for (int i = 0; i < 12000; ++i) prod.ingest(a);
+  for (int i = 0; i < 6000; ++i) prod.ingest(b);
+  prod.flush();
+  eng.rotate_epoch();
+  for (int i = 0; i < 9000; ++i) prod.ingest(b);
+  prod.flush();
+  eng.rotate_epoch();
+  for (int i = 0; i < 3000; ++i) prod.ingest(a);
+  for (int i = 0; i < 3000; ++i) prod.ingest(c);
+  prod.flush();
+  eng.rotate_epoch();
+  for (int i = 0; i < 8000; ++i) prod.ingest(a);
+  prod.flush();
+  eng.stop();
+
+  const TrendSnapshot snap = eng.trend_snapshot();
+  ASSERT_EQ(snap.sealed_windows(), 3u);
+  EXPECT_EQ(snap.window_epochs(), 3u);
+  // Ages are newest-first; trend() is oldest-first with live last.
+  EXPECT_EQ(snap.window_length(2), 18000u);
+  EXPECT_EQ(snap.window_length(1), 9000u);
+  EXPECT_EQ(snap.window_length(0), 6000u);
+  EXPECT_EQ(snap.current_length(), 8000u);
+
+  const Hierarchy& h = eng.hierarchy();
+  const Prefix pa{h.bottom(), a};
+  const Prefix pb{h.bottom(), b};
+  const auto ta = snap.trend(pa);
+  ASSERT_EQ(ta.size(), 4u);
+  EXPECT_DOUBLE_EQ(ta[0].share, 12000.0 / 18000.0);
+  EXPECT_DOUBLE_EQ(ta[0].estimate, 12000.0);
+  EXPECT_DOUBLE_EQ(ta[1].share, 0.0);
+  EXPECT_DOUBLE_EQ(ta[2].share, 0.5);
+  EXPECT_DOUBLE_EQ(ta[3].share, 1.0);
+  const auto tb = snap.trend(pb);
+  EXPECT_DOUBLE_EQ(tb[0].share, 6000.0 / 18000.0);
+  EXPECT_DOUBLE_EQ(tb[1].share, 1.0);
+  EXPECT_DOUBLE_EQ(tb[2].share, 0.0);
+  EXPECT_DOUBLE_EQ(tb[3].share, 0.0);
+
+  // The per-age window sets answer like a dedicated two-window snapshot.
+  EXPECT_TRUE(snap.window(0, 0.4).contains(pa));
+  EXPECT_TRUE(snap.window(1, 0.9).contains(pb));
+  EXPECT_FALSE(snap.window(1, 0.1).contains(pa));
+
+  // Cross-check against per-shard ring slots: summing every shard's age-i
+  // lattice length must equal the merged window length (index alignment).
+  for (std::size_t age = 0; age < 3; ++age) {
+    std::uint64_t sum = 0;
+    for (std::uint32_t w = 0; w < eng.workers(); ++w) {
+      sum += eng.shard_sealed(w, age).stream_length();
+    }
+    EXPECT_EQ(sum, snap.window_length(age)) << "age " << age;
+  }
+}
+
+TEST(TrendEngine, RingEvictsBeyondDepth) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.history_depth = 2;
+  cfg.monitor.algorithm = AlgorithmKind::kMst;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  for (int e = 0; e < 4; ++e) {
+    for (int i = 0; i < 1000 * (e + 1); ++i) {
+      prod.ingest(Key128::from_pair(ipv4(10, 0, 0, std::uint8_t(e)),
+                                    ipv4(1, 1, 1, 1)));
+    }
+    prod.flush();
+    eng.rotate_epoch();
+  }
+  eng.stop();
+  const TrendSnapshot snap = eng.trend_snapshot();
+  EXPECT_EQ(snap.window_epochs(), 4u);
+  ASSERT_EQ(snap.sealed_windows(), 2u);  // depth caps retention
+  EXPECT_EQ(snap.window_length(0), 4000u);  // newest sealed epoch
+  EXPECT_EQ(snap.window_length(1), 3000u);
+  EXPECT_EQ(snap.current_length(), 0u);
+}
+
+TEST(TrendEngine, DropsAttributedPerWindowAge) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.ring_capacity = 16;
+  cfg.batch = 8;
+  cfg.overflow = OverflowPolicy::kDropTail;
+  cfg.history_depth = 3;
+  HhhEngine eng(cfg);  // never started: rings fill, tails drop
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(23);
+  auto blast = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+    }
+    prod.flush();
+  };
+  blast(5000);
+  const std::uint64_t drops_w0 = eng.stats().dropped;
+  ASSERT_GT(drops_w0, 0u);
+  eng.rotate_epoch();
+  blast(3000);
+  const std::uint64_t drops_w1 = eng.stats().dropped - drops_w0;
+  eng.rotate_epoch();
+  blast(2000);
+
+  const TrendSnapshot snap = eng.trend_snapshot();
+  ASSERT_EQ(snap.sealed_windows(), 2u);
+  EXPECT_EQ(snap.window_drops(1), drops_w0);
+  EXPECT_EQ(snap.window_drops(0), drops_w1);
+  EXPECT_EQ(snap.current_drops(), snap.stats().dropped - drops_w0 - drops_w1);
+  // Nothing consumed yet: every window's N is exactly its own drops.
+  EXPECT_EQ(snap.window_length(1), drops_w0);
+  EXPECT_EQ(snap.window_length(0), drops_w1);
+  EXPECT_EQ(snap.current_length(), snap.current_drops());
+  // The two-window view must agree with the trend view's newest age.
+  const WindowedEngineSnapshot two = eng.window_snapshot();
+  EXPECT_EQ(two.previous_drops(), snap.window_drops(0));
+  EXPECT_EQ(two.previous_length(), snap.window_length(0));
+}
+
+TEST(TrendEngine, SustainedRampAlarmsAtEngineScale) {
+  // Two quiet epochs, then a ramp that persists for two more epochs into
+  // the live window: emerging_sustained on the engine's trend snapshot
+  // must flag the attack aggregate, mirroring the monitor semantics.
+  EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.producers = 1;
+  cfg.history_depth = 4;
+  cfg.monitor.algorithm = AlgorithmKind::kMst;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(7);
+  const Ipv4 attack_net = ipv4(66, 66, 0, 0);
+  const Ipv4 victim = ipv4(9, 9, 9, 9);
+  auto run_epoch = [&](int attack_pct, int n) {
+    for (int i = 0; i < n; ++i) {
+      if (static_cast<int>(rng.bounded(100)) < attack_pct) {
+        prod.ingest(Key128::from_pair(attack_net | rng.bounded(1 << 16), victim));
+      } else {
+        prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+      }
+    }
+    prod.flush();
+    eng.rotate_epoch();
+  };
+  run_epoch(2, 20000);
+  run_epoch(2, 20000);
+  run_epoch(40, 20000);
+  run_epoch(45, 20000);
+  for (int i = 0; i < 10000; ++i) {
+    if (static_cast<int>(rng.bounded(100)) < 50) {
+      prod.ingest(Key128::from_pair(attack_net | rng.bounded(1 << 16), victim));
+    } else {
+      prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+    }
+  }
+  prod.flush();
+  eng.stop();
+
+  const TrendSnapshot snap = eng.trend_snapshot();
+  ASSERT_EQ(snap.sealed_windows(), 4u);
+  const Hierarchy& h = eng.hierarchy();
+  const Prefix attack_bottom{h.bottom(),
+                             Key128::from_pair(attack_net | 0x0102u, victim)};
+  bool found = false;
+  for (const SustainedPrefix& s : snap.emerging_sustained(0.2, 3.0, 3)) {
+    if (h.generalizes(s.now.prefix, attack_bottom) && s.share_now > 0.3) {
+      found = true;
+      EXPECT_GE(s.min_run_share, 3.0 * s.baseline_share);
+    }
+  }
+  EXPECT_TRUE(found) << "sustained ramp not flagged";
+}
+
+namespace golden {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<unsigned char>('\n');
+  h *= 1099511628211ULL;
+  return h;
+}
+
+std::uint64_t digest_set(const Hierarchy& h, const HhhSet& s) {
+  std::vector<std::string> lines;
+  for (const HhhCandidate& c : s) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s f_est=%.6f f_lo=%.6f f_hi=%.6f c_hat=%.6f",
+                  h.format(c.prefix).c_str(), c.f_est, c.f_lo, c.f_hi, c.c_hat);
+    lines.emplace_back(buf);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t d = 14695981039346656037ULL;
+  for (const std::string& l : lines) d = fnv1a(d, l);
+  return d;
+}
+
+std::uint64_t digest_emerging(const Hierarchy& h,
+                              const std::vector<EmergingPrefix>& es) {
+  std::vector<std::string> lines;
+  for (const EmergingPrefix& e : es) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s prev=%.9f now=%.9f",
+                  h.format(e.now.prefix).c_str(), e.previous_share, e.share_now);
+    lines.emplace_back(buf);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t d = 14695981039346656037ULL;
+  for (const std::string& l : lines) d = fnv1a(d, l);
+  return d;
+}
+
+}  // namespace golden
+
+TEST(TrendEngine, HistoryDepthOneReproducesEpochPairGolden) {
+  // Golden digests recorded from the pre-WindowRing EpochPair engine
+  // (PR 3) on this fixed-seed scenario: the default depth-1 ring must
+  // reproduce the two-window snapshot byte for byte (same shard lattice
+  // salts, same rotation behavior, same drop folding).
+  EngineConfig ecfg;
+  ecfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  ecfg.monitor.algorithm = AlgorithmKind::kRhhh;
+  ecfg.monitor.eps = 0.1;
+  ecfg.monitor.delta = 0.1;
+  ecfg.monitor.seed = 11;
+  ecfg.workers = 3;
+  ecfg.producers = 1;
+  HhhEngine eng(ecfg);
+  eng.start();
+  Xoroshiro128 erng(123);
+  HhhEngine::Producer& prod = eng.producer(0);
+  for (int i = 0; i < 30000; ++i) {
+    if (erng.bounded(10) < 3) {
+      prod.ingest(Key128::from_pair(ipv4(20, 0, 0, 2), ipv4(2, 2, 2, 2)));
+    } else {
+      prod.ingest(Key128::from_pair(static_cast<std::uint32_t>(erng()),
+                                    static_cast<std::uint32_t>(erng())));
+    }
+  }
+  prod.flush();
+  eng.stop();
+  eng.rotate_epoch();
+  eng.start();
+  for (int i = 0; i < 10000; ++i) {
+    if (erng.bounded(10) < 5) {
+      prod.ingest(Key128::from_pair(ipv4(30, 0, 0, 3), ipv4(3, 3, 3, 3)));
+    } else {
+      prod.ingest(Key128::from_pair(static_cast<std::uint32_t>(erng()),
+                                    static_cast<std::uint32_t>(erng())));
+    }
+  }
+  prod.flush();
+  eng.stop();
+  const WindowedEngineSnapshot snap = eng.window_snapshot();
+  ASSERT_EQ(snap.window_epochs(), 1u);
+  ASSERT_EQ(snap.current_length(), 10000u);
+  ASSERT_EQ(snap.previous_length(), 30000u);
+  const Hierarchy& h = eng.hierarchy();
+  EXPECT_EQ(golden::digest_set(h, snap.current(0.2)), 0xeb2d4bc442596af9ULL);
+  EXPECT_EQ(golden::digest_set(h, snap.previous(0.2)), 0x63988573466a14bdULL);
+  EXPECT_EQ(golden::digest_emerging(h, snap.emerging(0.2, 2.0)),
+            0x4d1e9ccdc44b0d45ULL);
 }
 
 /// Acceptance criterion: a planted mid-stream burst must be flagged by

@@ -14,6 +14,7 @@
 // ASan/UBSan, where the interleavings are the point.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -53,6 +54,7 @@ FuzzPlan draw_plan(std::uint64_t seed) {
   cfg.monitor.delta = 0.05;
   cfg.monitor.seed = seed;
   if (rng.bounded(2) == 0) cfg.epoch_packets = 20000;  // coordinator clock on
+  cfg.history_depth = 1 + rng.bounded(4);  // K-deep window rings
   plan.per_producer = 20000 + rng.bounded(20000);
   plan.chaos_ops = 2 + static_cast<int>(rng.bounded(4));
   return plan;
@@ -94,9 +96,10 @@ TEST_P(EngineFuzz, ConservationHoldsUnderConcurrentChaos) {
   {
     Xoroshiro128 rng(seed ^ 0xc4a05u);
     for (int i = 0; i < plan.chaos_ops; ++i) {
-      switch (rng.bounded(3)) {
+      switch (rng.bounded(4)) {
         case 0: (void)eng.snapshot(); break;
         case 1: (void)eng.window_snapshot(); break;
+        case 2: (void)eng.trend_snapshot(); break;
         default: eng.rotate_epoch(); break;
       }
     }
@@ -157,6 +160,33 @@ TEST_P(EngineFuzz, ConservationHoldsUnderConcurrentChaos) {
     EXPECT_EQ(win.previous_drops(), 0u);
   }
   EXPECT_EQ(win.stats().window_epochs, eng.window_epochs());
+
+  // K-window trend view: per-age window lengths must equal the
+  // index-aligned sum of the shard ring slots plus exactly that window's
+  // drops, and the newest age must agree with the two-window view.
+  const TrendSnapshot tr = eng.trend_snapshot();
+  EXPECT_EQ(tr.sealed_windows(),
+            std::min<std::uint64_t>(eng.window_epochs(), plan.cfg.history_depth));
+  EXPECT_EQ(tr.current_length(), live_n + tr.current_drops());
+  EXPECT_EQ(tr.current_drops(), win.current_drops());
+  std::uint64_t retained_drops = tr.current_drops();
+  for (std::size_t age = 0; age < tr.sealed_windows(); ++age) {
+    std::uint64_t shard_sum = 0;
+    for (std::uint32_t w = 0; w < eng.workers(); ++w) {
+      shard_sum += eng.shard_sealed(w, age).stream_length();
+    }
+    EXPECT_EQ(tr.window_length(age), shard_sum + tr.window_drops(age))
+        << "age " << age;
+    retained_drops += tr.window_drops(age);
+  }
+  EXPECT_LE(retained_drops, s.dropped);
+  if (eng.window_epochs() <= plan.cfg.history_depth) {
+    EXPECT_EQ(retained_drops, s.dropped) << "no eviction: every drop retained";
+  }
+  if (tr.sealed_windows() != 0) {
+    EXPECT_EQ(tr.window_length(0), win.previous_length());
+    EXPECT_EQ(tr.window_drops(0), win.previous_drops());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, EngineFuzz, ::testing::Range(0, 12));

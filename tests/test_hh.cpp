@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hh/count_min.hpp"
+#include "hh/count_sketch.hpp"
 #include "hh/lossy_counting.hpp"
 #include "hh/misra_gries.hpp"
 #include "hh/space_saving.hpp"
@@ -354,6 +355,113 @@ TEST(CountMinTest, DimensionsMatchFormulas) {
   CountMinHh<K64> cm(0.001, 0.01, 8, 1);
   EXPECT_GE(cm.width(), 2718u);
   EXPECT_EQ(cm.depth(), 5u);  // ceil(ln(100)) = 5
+}
+
+// ------------------------------------------------ linear-sketch merge ----
+
+TEST(CountMinTest, MergeIsElementWiseAndExactOnDisjointKeys) {
+  // Same seed => identical hash rows: merge is the element-wise sum, so
+  // disjoint single-key streams combine with no additional error beyond
+  // each side's own collisions (none here: two keys, wide table).
+  CountMinHh<K64> a(0.01, 0.01, 16, 9);
+  CountMinHh<K64> b(0.01, 0.01, 16, 9);
+  for (int i = 0; i < 300; ++i) a.increment(1);
+  for (int i = 0; i < 500; ++i) b.increment(2);
+  for (int i = 0; i < 200; ++i) b.increment(1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 1000u);
+  EXPECT_GE(a.upper(1), 500u);  // never underestimates after merge
+  EXPECT_GE(a.upper(2), 500u);
+  // Upper bound still holds w.h.p.: eps * N over the combined stream.
+  EXPECT_LE(a.upper(1), 500u + static_cast<std::uint64_t>(0.01 * 1000));
+  // Both sides' candidates survive the merge re-ranking.
+  bool saw1 = false, saw2 = false;
+  a.for_each([&](const K64& k, std::uint64_t, std::uint64_t) {
+    saw1 |= k == 1;
+    saw2 |= k == 2;
+  });
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+}
+
+TEST(CountMinTest, SelfMergeDoublesTheStream) {
+  // merge(*this) must be well-defined (LatticeHhh::mergeable_with accepts
+  // self): the linear-sketch semantics are "the same stream twice".
+  CountMinHh<K64> a(0.01, 0.01, 16, 9);
+  for (int i = 0; i < 250; ++i) a.increment(7);
+  a.merge(a);
+  EXPECT_EQ(a.total(), 500u);
+  EXPECT_GE(a.upper(7), 500u);
+
+  CountSketchHh<K64> cs(0.02, 0.05, 16, 9);
+  for (int i = 0; i < 250; ++i) cs.increment(7);
+  cs.merge(cs);
+  EXPECT_EQ(cs.total(), 500u);
+  EXPECT_NEAR(static_cast<double>(cs.estimate(7)), 500.0, 0.02 * 500.0 + 1.0);
+}
+
+TEST(CountMinTest, MergeRejectsIncompatibleSketches) {
+  CountMinHh<K64> a(0.01, 0.01, 16, 9);
+  CountMinHh<K64> seed_mismatch(0.01, 0.01, 16, 10);
+  EXPECT_THROW(a.merge(seed_mismatch), std::invalid_argument);
+  CountMinHh<K64> dim_mismatch(0.02, 0.01, 16, 9);
+  EXPECT_THROW(a.merge(dim_mismatch), std::invalid_argument);
+  CountMinHh<K64> depth_mismatch(0.01, 0.2, 16, 9);
+  EXPECT_THROW(a.merge(depth_mismatch), std::invalid_argument);
+}
+
+TEST(CountMinTest, MergedBoundsHoldOnZipfStreams) {
+  // Two shards of one heavy-tailed stream: the merged sketch must keep the
+  // Count-Min contract (f <= upper <= f + eps*N) over the union.
+  const double eps = 0.005;
+  CountMinHh<K64> a(eps, 0.01, 64, 5);
+  CountMinHh<K64> b(eps, 0.01, 64, 5);
+  std::map<K64, std::uint64_t> truth;
+  Xoroshiro128 rng(31);
+  ZipfDistribution zipf(5000, 1.2);
+  for (int i = 0; i < 30000; ++i) {
+    const K64 k = zipf(rng);
+    ++truth[k];
+    (i % 2 == 0 ? a : b).increment(k);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), 30000u);
+  // upper() never underestimates (deterministic), and overestimates beyond
+  // eps*N only with the per-key sketch failure probability -- check the
+  // violation *rate*, as the single-sketch "Mostly" test does.
+  const auto slack = static_cast<std::uint64_t>(eps * 30000.0);
+  std::size_t over = 0;
+  for (const auto& [k, f] : truth) {
+    ASSERT_GE(a.upper(k), f) << "key " << k;
+    if (a.upper(k) > f + slack) ++over;
+  }
+  EXPECT_LE(over, truth.size() / 20) << "eps*N bound violated too often";
+}
+
+TEST(CountSketchTest, MergeAddsRowsAndKeepsUnbiasedEstimates) {
+  CountSketchHh<K64> a(0.02, 0.05, 16, 9);
+  CountSketchHh<K64> b(0.02, 0.05, 16, 9);
+  for (int i = 0; i < 400; ++i) a.increment(1);
+  for (int i = 0; i < 600; ++i) b.increment(1);
+  for (int i = 0; i < 300; ++i) b.increment(2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 1300u);
+  const auto slack = static_cast<std::int64_t>(0.02 * 1300.0);
+  EXPECT_NEAR(static_cast<double>(a.estimate(1)), 1000.0,
+              static_cast<double>(slack) + 1.0);
+  EXPECT_NEAR(static_cast<double>(a.estimate(2)), 300.0,
+              static_cast<double>(slack) + 1.0);
+  bool saw2 = false;
+  a.for_each([&](const K64& k, std::uint64_t, std::uint64_t) { saw2 |= k == 2; });
+  EXPECT_TRUE(saw2) << "other side's candidate lost in merge";
+}
+
+TEST(CountSketchTest, MergeRejectsIncompatibleSketches) {
+  CountSketchHh<K64> a(0.02, 0.05, 16, 9);
+  CountSketchHh<K64> seed_mismatch(0.02, 0.05, 16, 10);
+  EXPECT_THROW(a.merge(seed_mismatch), std::invalid_argument);
+  CountSketchHh<K64> dim_mismatch(0.1, 0.05, 16, 9);
+  EXPECT_THROW(a.merge(dim_mismatch), std::invalid_argument);
 }
 
 // ----------------------------------------------- uniform make() factory ----

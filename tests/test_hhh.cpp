@@ -490,6 +490,85 @@ TEST(LatticeMerge, DisjointSubstreamsMatchUnionBounds) {
   }
 }
 
+TEST(LatticeMerge, SketchBackendsAreMergeable) {
+  // The linear sketches gained element-wise merge: sketch-backed lattices
+  // are no longer rejected at compile time...
+  static_assert(LatticeHhh<CountMinHh<Key128>>::backend_mergeable());
+  static_assert(LatticeHhh<CountSketchHh<Key128>>::backend_mergeable());
+  static_assert(LatticeHhh<SpaceSaving<Key128>>::backend_mergeable());
+  // ... while the windowed/exact backends stay non-mergeable.
+  static_assert(!LatticeHhh<MisraGries<Key128>>::backend_mergeable());
+  static_assert(!LatticeHhh<LossyCounting<Key128>>::backend_mergeable());
+  static_assert(!LatticeHhh<ExactCounter<Key128>>::backend_mergeable());
+}
+
+TEST(LatticeMerge, CountMinShardsMergeWithPinnedBackendSeed) {
+  // Shard-style deployment of a Count-Min-backed lattice: every shard pins
+  // the same backend_seed (identical hash rows, the element-wise merge
+  // precondition) while drawing an independent sampling stream per shard.
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.02;
+  lp.delta = 0.05;
+  lp.backend_seed = 4242;
+  LatticeHhh<CountMinHh<Key128>> a(h, LatticeMode::kMst, lp);
+  LatticeParams lp_b = lp;
+  lp_b.seed = 777;  // different sampling seed, same sketch hashes
+  LatticeHhh<CountMinHh<Key128>> b(h, LatticeMode::kMst, lp_b);
+  ASSERT_TRUE(a.mergeable_with(b));
+
+  const Key128 hot = Key128::from_u32(ipv4(10, 1, 2, 3));
+  for (int i = 0; i < 4000; ++i) a.update(hot);
+  for (int i = 0; i < 2000; ++i) b.update(hot);
+  Xoroshiro128 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    b.update(Key128::from_u32(static_cast<std::uint32_t>(rng())));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.stream_length(), 8000u);
+  // MST + Count-Min: estimate never underestimates and stays within the
+  // sketch's eps_a * N over the merged stream.
+  const Prefix p{h.bottom(), hot};
+  EXPECT_GE(a.estimate(p), 6000.0);
+  EXPECT_LE(a.estimate(p), 6000.0 + a.eps_a() * 8000.0 + 1.0);
+  EXPECT_TRUE(a.output(0.5).contains(p));
+}
+
+TEST(LatticeMerge, SketchShardsWithoutPinnedSeedThrow) {
+  // Without backend_seed pinning the per-shard hash rows differ, and the
+  // backend's dimension/seed check must reject the element-wise merge even
+  // though the lattice-level parameters look compatible.
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  LatticeHhh<CountSketchHh<Key128>> a(h, LatticeMode::kMst, lp);
+  LatticeParams lp_b = lp;
+  lp_b.seed = 999;
+  LatticeHhh<CountSketchHh<Key128>> b(h, LatticeMode::kMst, lp_b);
+  ASSERT_TRUE(a.mergeable_with(b));  // lattice params agree...
+  a.update(Key128::from_u32(ipv4(1, 2, 3, 4)));
+  b.update(Key128::from_u32(ipv4(1, 2, 3, 4)));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);  // ...hash rows do not
+}
+
+TEST(LatticeMerge, CountSketchShardsMergeEstimates) {
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  LatticeParams lp;
+  lp.eps = 0.04;
+  lp.delta = 0.05;
+  lp.backend_seed = 17;
+  LatticeHhh<CountSketchHh<Key128>> a(h, LatticeMode::kMst, lp);
+  LatticeParams lp_b = lp;
+  lp_b.seed = 31;
+  LatticeHhh<CountSketchHh<Key128>> b(h, LatticeMode::kMst, lp_b);
+  const Key128 hot = Key128::from_u32(ipv4(10, 1, 2, 3));
+  for (int i = 0; i < 3000; ++i) a.update(hot);
+  for (int i = 0; i < 1000; ++i) b.update(hot);
+  a.merge(b);
+  EXPECT_EQ(a.stream_length(), 4000u);
+  const Prefix p{h.bottom(), hot};
+  EXPECT_NEAR(a.estimate(p), 4000.0, a.eps_a() * 4000.0 + 1.0);
+}
+
 // ------------------------------------------------------------- TrieHhh ----
 
 TEST(TrieHhhTest, Validation) {
@@ -504,6 +583,61 @@ TEST(TrieHhhTest, RootAlwaysTracked) {
   EXPECT_EQ(t.tracked_nodes(), 1u);
   t.update(Key128::from_u32(ipv4(1, 2, 3, 4)));
   EXPECT_GT(t.tracked_nodes(), 1u);
+}
+
+TEST(TrieHhhTest, EstimateIndexKeepsLossyCountingBounds) {
+  // estimate() now answers from a lazily rebuilt per-prefix mass index;
+  // interleave updates (which dirty the index), compressions and probes,
+  // and check every probe against the exact stream counts. Tracked mass
+  // never exceeds the true count, so estimate <= f + slack everywhere. On
+  // the 1D chain (every lattice node on the canonical chain) full
+  // ancestry additionally keeps the classic lossy-counting guarantee: a
+  // nonzero estimate upper-bounds f, a zero one means f <= slack. (2D
+  // off-chain aggregates can undercount past the slack when compression
+  // folds mass to a canonical parent outside their cone -- the documented
+  // adaptation caveat, same as output()'s f_hi.)
+  for (const bool one_dim : {true, false}) {
+    const Hierarchy h = one_dim ? Hierarchy::ipv4_1d(Granularity::kByte)
+                                : Hierarchy::ipv4_2d(Granularity::kByte);
+    for (const AncestryMode mode : {AncestryMode::kFull, AncestryMode::kPartial}) {
+      TrieHhh t(h, mode, 0.02);
+      TraceGenerator gen(trace_preset("chicago16"));
+      Xoroshiro128 rng(11);
+      FlatHashMap<Key128, std::uint64_t, KeyHash<Key128>> exact(1 << 12);
+      std::vector<Key128> seen;
+      for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 2000; ++i) {
+          const Key128 k = h.key_of(gen.next());
+          t.update(k);
+          ++exact[k];
+          if (seen.size() < 64) seen.push_back(k);
+        }
+        ASSERT_TRUE(t.validate());
+        const double slack = static_cast<double>(t.epoch() - 1);
+        for (int probe = 0; probe < 24; ++probe) {
+          const Key128 k =
+              seen[rng.bounded(static_cast<std::uint32_t>(seen.size()))];
+          const auto node = static_cast<std::uint32_t>(
+              rng.bounded(static_cast<std::uint32_t>(h.size())));
+          const Prefix p{node, h.mask_key(node, k)};
+          std::uint64_t f = 0;  // exact mass of p over the stream so far
+          exact.for_each([&](const Key128& key, const std::uint64_t& c) {
+            if (h.mask_key(node, key) == p.key) f += c;
+          });
+          const double est = t.estimate(p);
+          EXPECT_LE(est, static_cast<double>(f) + slack)
+              << to_string(mode) << " " << h.format(p);
+          if (one_dim && mode == AncestryMode::kFull) {
+            if (est > 0.0) {
+              EXPECT_GE(est, static_cast<double>(f)) << h.format(p);
+            } else {
+              EXPECT_LE(static_cast<double>(f), slack) << h.format(p);
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(TrieHhhTest, FullAncestryTracksWholePath) {

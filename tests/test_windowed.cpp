@@ -3,7 +3,11 @@
 // detection on a simulated attack ramp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/windowed.hpp"
 #include "net/ipv4.hpp"
@@ -205,6 +209,280 @@ TEST(WindowedMonitor, ConvergedEpochStableAcrossRotations) {
     deterministic.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
   }
   EXPECT_TRUE(deterministic.converged_epoch());
+}
+
+// ------------------------------------------------ K-deep window ring ----
+
+TEST(WindowRing, RejectsZeroDepth) {
+  EXPECT_THROW(WindowedHhhMonitor(small_config(), 1000, 0), std::invalid_argument);
+}
+
+TEST(WindowRing, DepthOneIsTheDefault) {
+  WindowedHhhMonitor mon(small_config(), 1000);
+  EXPECT_EQ(mon.history_depth(), 1u);
+  EXPECT_EQ(mon.sealed_windows(), 0u);
+}
+
+TEST(WindowRing, SealedCountSaturatesAtDepth) {
+  WindowedHhhMonitor mon(small_config(), 100, 3);
+  EXPECT_EQ(mon.history_depth(), 3u);
+  for (int e = 1; e <= 5; ++e) {
+    for (int i = 0; i < 100; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+    EXPECT_EQ(mon.epochs_completed(), static_cast<std::uint64_t>(e));
+    EXPECT_EQ(mon.sealed_windows(), std::min<std::size_t>(e, 3));
+  }
+}
+
+TEST(WindowRing, RotatesExactlyAtBoundaryAtDepthK) {
+  // The exact-boundary semantics of the depth-1 monitor must hold at any
+  // depth: the Nth update itself performs the rotation, leaving a freshly
+  // cleared live window.
+  WindowedHhhMonitor mon(small_config(), 1000, 4);
+  for (int i = 0; i < 999; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 0u);
+  EXPECT_EQ(mon.packets_in_epoch(), 999u);
+  EXPECT_EQ(mon.sealed_windows(), 0u);
+  mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  EXPECT_EQ(mon.epochs_completed(), 1u);
+  EXPECT_EQ(mon.packets_in_epoch(), 0u);
+  EXPECT_EQ(mon.sealed_windows(), 1u);
+  EXPECT_FALSE(mon.previous(0.5).empty());
+}
+
+TEST(WindowRing, TrendTracksPerEpochSharesOldestFirst) {
+  // Deterministic MST: every share below is exact. Four distinct epochs:
+  //   e1: A=1000           e2: A=500 B=500     e3: B=1000
+  //   live (partial): A=250 C=250
+  // With depth 3 all sealed epochs are retained; trend() must return
+  // oldest -> newest with the live window last.
+  WindowedHhhMonitor mon(small_config(), 1000, 3);
+  const Ipv4 a_src = ipv4(10, 0, 0, 1), a_dst = ipv4(1, 1, 1, 1);
+  const Ipv4 b_src = ipv4(20, 0, 0, 2), b_dst = ipv4(2, 2, 2, 2);
+  const Ipv4 c_src = ipv4(30, 0, 0, 3), c_dst = ipv4(3, 3, 3, 3);
+  for (int i = 0; i < 1000; ++i) mon.update(a_src, a_dst);
+  for (int i = 0; i < 500; ++i) mon.update(a_src, a_dst);
+  for (int i = 0; i < 500; ++i) mon.update(b_src, b_dst);
+  for (int i = 0; i < 1000; ++i) mon.update(b_src, b_dst);
+  for (int i = 0; i < 250; ++i) mon.update(a_src, a_dst);
+  for (int i = 0; i < 250; ++i) mon.update(c_src, c_dst);
+  ASSERT_EQ(mon.epochs_completed(), 3u);
+  ASSERT_EQ(mon.packets_in_epoch(), 500u);
+
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix a{h.bottom(), Key128::from_pair(a_src, a_dst)};
+  const Prefix b{h.bottom(), Key128::from_pair(b_src, b_dst)};
+
+  const auto ta = mon.trend(a);
+  ASSERT_EQ(ta.size(), 4u);  // 3 sealed + live
+  EXPECT_EQ(ta[0].stream_length, 1000u);
+  EXPECT_DOUBLE_EQ(ta[0].share, 1.0);
+  EXPECT_DOUBLE_EQ(ta[1].share, 0.5);
+  EXPECT_DOUBLE_EQ(ta[2].share, 0.0);
+  EXPECT_EQ(ta[3].stream_length, 500u);
+  EXPECT_DOUBLE_EQ(ta[3].share, 0.5);
+  EXPECT_DOUBLE_EQ(ta[3].estimate, 250.0);
+
+  const auto tb = mon.trend(b);
+  ASSERT_EQ(tb.size(), 4u);
+  EXPECT_DOUBLE_EQ(tb[0].share, 0.0);
+  EXPECT_DOUBLE_EQ(tb[1].share, 0.5);
+  EXPECT_DOUBLE_EQ(tb[2].share, 1.0);
+  EXPECT_DOUBLE_EQ(tb[3].share, 0.0);
+}
+
+TEST(WindowRing, TrendBeforeAnyRotationIsLiveOnly) {
+  WindowedHhhMonitor mon(small_config(), 1000, 4);
+  for (int i = 0; i < 100; ++i) mon.update(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2));
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix p{h.bottom(),
+                 Key128::from_pair(ipv4(1, 1, 1, 1), ipv4(2, 2, 2, 2))};
+  const auto t = mon.trend(p);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0].share, 1.0);
+}
+
+TEST(WindowRing, RingEvictsOldestWindow) {
+  // Depth 2, four epochs of distinct keys: only the two newest sealed
+  // epochs survive, so the evicted epochs' key is absent from every
+  // retained window and its trend shows zeros.
+  WindowedHhhMonitor mon(small_config(), 1000, 2);
+  const Ipv4 srcs[] = {ipv4(10, 0, 0, 1), ipv4(20, 0, 0, 2), ipv4(30, 0, 0, 3),
+                       ipv4(40, 0, 0, 4)};
+  for (const Ipv4 s : srcs) {
+    for (int i = 0; i < 1000; ++i) mon.update(s, ipv4(9, 9, 9, 9));
+  }
+  ASSERT_EQ(mon.epochs_completed(), 4u);
+  ASSERT_EQ(mon.sealed_windows(), 2u);
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix first{h.bottom(), Key128::from_pair(srcs[0], ipv4(9, 9, 9, 9))};
+  const Prefix third{h.bottom(), Key128::from_pair(srcs[2], ipv4(9, 9, 9, 9))};
+  const auto t_first = mon.trend(first);   // evicted epoch's key
+  const auto t_third = mon.trend(third);   // oldest retained epoch's key
+  ASSERT_EQ(t_first.size(), 3u);
+  for (const TrendPoint& p : t_first) EXPECT_DOUBLE_EQ(p.share, 0.0);
+  EXPECT_DOUBLE_EQ(t_third[0].share, 1.0);
+  EXPECT_DOUBLE_EQ(t_third[1].share, 0.0);
+}
+
+TEST(WindowRing, EmergingSustainedMatchesHandComputedEwma) {
+  // MST, depth 4, alpha 0.5, min_epochs 2. Attack key X carries per-epoch
+  // shares 0.1, 0.2 (baseline epochs), then 0.6, 0.6 (the run). Baseline
+  // EWMA = 0.5*0.2 + 0.5*0.1 = 0.15; growth bar at 3x = 0.45; both run
+  // windows clear it -> alarm with exactly pinned fields.
+  WindowedHhhMonitor mon(small_config(), 1000, 4);
+  const Ipv4 x_src = ipv4(66, 66, 0, 1), x_dst = ipv4(9, 9, 9, 9);
+  const Ipv4 f_src = ipv4(10, 0, 0, 1), f_dst = ipv4(1, 1, 1, 1);
+  auto run_epoch = [&](int x_pkts) {
+    for (int i = 0; i < x_pkts; ++i) mon.update(x_src, x_dst);
+    for (int i = 0; i < 1000 - x_pkts; ++i) mon.update(f_src, f_dst);
+  };
+  run_epoch(100);
+  run_epoch(200);
+  run_epoch(600);
+  ASSERT_EQ(mon.epochs_completed(), 3u);
+  // Partial live window: 300/500 = 0.6 share, same as the sealed run epoch.
+  for (int i = 0; i < 300; ++i) mon.update(x_src, x_dst);
+  for (int i = 0; i < 200; ++i) mon.update(f_src, f_dst);
+  ASSERT_EQ(mon.epochs_completed(), 3u) << "live window must stay partial";
+
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix x{h.bottom(), Key128::from_pair(x_src, x_dst)};
+  const auto alarms = mon.emerging_sustained(0.3, 3.0, 2, 0.5);
+  const SustainedPrefix* sx = nullptr;
+  for (const SustainedPrefix& s : alarms) {
+    if (s.now.prefix == x) sx = &s;
+    // The filler key shrinks (0.9, 0.8 -> 0.4, 0.4): it must never alarm.
+    EXPECT_FALSE(s.now.prefix ==
+                 Prefix(h.bottom(), Key128::from_pair(f_src, f_dst)));
+  }
+  ASSERT_NE(sx, nullptr);
+  EXPECT_DOUBLE_EQ(sx->baseline_share, 0.15);
+  EXPECT_DOUBLE_EQ(sx->share_now, 0.6);
+  EXPECT_DOUBLE_EQ(sx->min_run_share, 0.6);
+  EXPECT_EQ(sx->run_epochs, 2u);
+  EXPECT_DOUBLE_EQ(sx->growth(), 4.0);
+}
+
+TEST(WindowRing, OneEpochBlipDoesNotAlarmSustained) {
+  // Same setup, but the surge is a single sealed epoch followed by a quiet
+  // one: the blip sits inside the run for min_epochs=2 only as one of two
+  // windows, and the quiet window fails the persistence bar. A sustained
+  // detector must stay silent where plain emerging() (one-window
+  // comparison) could still fire on the partial live window.
+  WindowedHhhMonitor mon(small_config(), 1000, 4);
+  const Ipv4 x_src = ipv4(66, 66, 0, 1), x_dst = ipv4(9, 9, 9, 9);
+  const Ipv4 f_src = ipv4(10, 0, 0, 1), f_dst = ipv4(1, 1, 1, 1);
+  auto run_epoch = [&](int x_pkts) {
+    for (int i = 0; i < x_pkts; ++i) mon.update(x_src, x_dst);
+    for (int i = 0; i < 1000 - x_pkts; ++i) mon.update(f_src, f_dst);
+  };
+  run_epoch(100);
+  run_epoch(600);  // the blip epoch
+  run_epoch(100);  // quiet again
+  for (int i = 0; i < 300; ++i) mon.update(x_src, x_dst);  // live resurges
+  for (int i = 0; i < 200; ++i) mon.update(f_src, f_dst);
+  ASSERT_EQ(mon.epochs_completed(), 3u);
+
+  const Hierarchy& h = mon.hierarchy();
+  const Prefix x{h.bottom(), Key128::from_pair(x_src, x_dst)};
+  // Run = {quiet epoch (0.1), live (0.6)}; baseline EWMA = 0.5*0.6 + 0.5*0.1
+  // = 0.35. min_run = 0.1 < 3 * 0.35: no sustained alarm for X.
+  for (const SustainedPrefix& s : mon.emerging_sustained(0.3, 3.0, 2, 0.5)) {
+    EXPECT_FALSE(s.now.prefix == x) << "one-epoch blip alarmed as sustained";
+  }
+}
+
+TEST(WindowRing, SustainedNeedsEnoughHistory) {
+  WindowedHhhMonitor mon(small_config(), 1000, 4);
+  EXPECT_THROW(mon.emerging_sustained(0.3, 3.0, 0), std::invalid_argument);
+  EXPECT_THROW(mon.emerging_sustained(0.3, 3.0, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(mon.emerging_sustained(0.3, 3.0, 2, 1.5), std::invalid_argument);
+  // Epoch 1: background only; then the attacker appears and persists
+  // through epoch 2 and the live window.
+  for (int i = 0; i < 1000; ++i) mon.update(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1));
+  for (int i = 0; i < 1000; ++i) mon.update(ipv4(66, 66, 0, 1), ipv4(9, 9, 9, 9));
+  ASSERT_EQ(mon.epochs_completed(), 2u);
+  for (int i = 0; i < 500; ++i) mon.update(ipv4(66, 66, 0, 1), ipv4(9, 9, 9, 9));
+  // Brand-new aggregate (zero baseline) that held for the whole run: alarms.
+  EXPECT_FALSE(mon.emerging_sustained(0.3, 3.0, 2).empty());
+  // min_epochs 3 would need a 4th window for the baseline: conservatively
+  // empty, not an alarm storm.
+  EXPECT_TRUE(mon.emerging_sustained(0.3, 3.0, 3).empty());
+}
+
+// ------------------------------------- depth-1 regression (golden pins) ----
+
+namespace golden {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<unsigned char>('\n');
+  h *= 1099511628211ULL;
+  return h;
+}
+
+std::uint64_t digest_set(const Hierarchy& h, const HhhSet& s) {
+  std::vector<std::string> lines;
+  for (const HhhCandidate& c : s) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s f_est=%.6f f_lo=%.6f f_hi=%.6f c_hat=%.6f",
+                  h.format(c.prefix).c_str(), c.f_est, c.f_lo, c.f_hi, c.c_hat);
+    lines.emplace_back(buf);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t d = 14695981039346656037ULL;
+  for (const std::string& l : lines) d = fnv1a(d, l);
+  return d;
+}
+
+std::uint64_t digest_emerging(const Hierarchy& h,
+                              const std::vector<EmergingPrefix>& es) {
+  std::vector<std::string> lines;
+  for (const EmergingPrefix& e : es) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s prev=%.9f now=%.9f",
+                  h.format(e.now.prefix).c_str(), e.previous_share, e.share_now);
+    lines.emplace_back(buf);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t d = 14695981039346656037ULL;
+  for (const std::string& l : lines) d = fnv1a(d, l);
+  return d;
+}
+
+}  // namespace golden
+
+TEST(WindowRing, HistoryDepthOneReproducesEpochPairGolden) {
+  // Golden digests recorded from the pre-WindowRing EpochPair
+  // implementation (PR 3) on this fixed-seed RHHH scenario. depth 1 must
+  // reproduce current/previous/emerging byte for byte: same instance
+  // seeds, same rotation points, same probe math.
+  MonitorConfig cfg;
+  cfg.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  cfg.algorithm = AlgorithmKind::kRhhh;
+  cfg.eps = 0.1;
+  cfg.delta = 0.1;
+  cfg.seed = 7;
+  WindowedHhhMonitor mon(cfg, 2000, 1);
+  Xoroshiro128 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.bounded(10) < 4) {
+      mon.update(ipv4(10, 0, 0, 1), ipv4(1, 1, 1, 1));
+    } else {
+      mon.update(Ipv4{static_cast<std::uint32_t>(rng())},
+                 Ipv4{static_cast<std::uint32_t>(rng())});
+    }
+  }
+  ASSERT_EQ(mon.epochs_completed(), 2u);
+  ASSERT_EQ(mon.packets_in_epoch(), 1000u);
+  const Hierarchy& h = mon.hierarchy();
+  EXPECT_EQ(golden::digest_set(h, mon.current(0.2)), 0x334133ac58a01e52ULL);
+  EXPECT_EQ(golden::digest_set(h, mon.previous(0.2)), 0x7deffb8c49571ca3ULL);
+  EXPECT_EQ(golden::digest_emerging(h, mon.emerging(0.2, 2.0)),
+            0xd6eb44a633f4db8fULL);
 }
 
 TEST(WindowedMonitor, StableTrafficNotEmerging) {
