@@ -3,16 +3,24 @@
 // the per-shard RHHH lattices into one network-wide view mid-stream and
 // again at the end -- the live-query pattern a collector daemon would run.
 //
-// Run:  ./engine_demo [packets]
+// With --archive DIR the engine additionally rotates window epochs and its
+// background archiver persists every sealed window to the durable store at
+// DIR; after shutdown the demo reopens the store cold and answers the same
+// last-K query from disk (inspect it further with store_tool).
+//
+// Run:  ./engine_demo [packets] [--archive DIR]
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "core/monitor.hpp"
 #include "engine/engine.hpp"
 #include "net/ipv4.hpp"
+#include "store/archive.hpp"
 #include "trace/trace_gen.hpp"
 #include "util/random.hpp"
 
@@ -36,8 +44,15 @@ void print_view(const rhhh::HhhEngine& eng, const rhhh::EngineSnapshot& snap,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t packets =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+  std::size_t packets = 2'000'000;
+  std::string archive_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--archive") == 0 && i + 1 < argc) {
+      archive_dir = argv[++i];
+    } else {
+      packets = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
   const double theta = 0.1;
 
   rhhh::EngineConfig cfg;
@@ -47,6 +62,23 @@ int main(int argc, char** argv) {
   cfg.monitor.delta = 0.01;
   cfg.workers = 4;
   cfg.producers = 2;
+  std::size_t store_baseline = 0;
+  if (!archive_dir.empty()) {
+    // Durable archiving: rotate ~8 windows over the stream and persist
+    // each sealed window; small segments exercise the roll path.
+    cfg.epoch_packets = std::max<std::uint64_t>(packets / 8, 1);
+    cfg.history_depth = 4;
+    cfg.archive.dir = archive_dir;
+    cfg.archive.segment_bytes = 1u << 20;
+    // Re-running against an existing store appends to it: remember how
+    // many windows it already held so the end-of-run check counts only
+    // this run's contribution.
+    try {
+      store_baseline = rhhh::store::WindowArchive::open_read(archive_dir).windows();
+    } catch (const std::exception&) {
+      store_baseline = 0;  // fresh directory
+    }
+  }
   const std::unique_ptr<rhhh::HhhEngine> eng = rhhh::make_engine(cfg);
   eng->start();
   std::printf("engine: %u producers -> %u shards, %s routing, %s overflow\n\n",
@@ -99,5 +131,34 @@ int main(int argc, char** argv) {
       "\nThe victim /24's flood is assembled across both producers and all\n"
       "four shards; no single shard needs to see the whole stream, and the\n"
       "epoch merge corrects every estimate for the network-wide N.\n");
+
+  if (!archive_dir.empty()) {
+    // Cold read-back: reopen the store a collector restart would see and
+    // answer the last-4-windows query straight from disk.
+    std::printf("\narchived windows: %" PRIu64 " (queue drops %" PRIu64
+                ", errors %" PRIu64 ")\n",
+                s.archived_windows, s.archive_queue_drops, s.archive_errors);
+    const rhhh::store::WindowArchive ar =
+        rhhh::store::WindowArchive::open_read(archive_dir);
+    std::printf("store %s: %zu segment(s), %zu window(s), %" PRIu64 " bytes\n",
+                ar.dir().c_str(), ar.segments(), ar.windows(), ar.total_bytes());
+    if (store_baseline + s.archived_windows != ar.windows()) {
+      std::printf("ERROR: store window count does not match the archiver's\n");
+      return 1;
+    }
+    std::uint64_t drops = 0;
+    const auto merged = ar.merged_last(4, &drops);
+    if (merged != nullptr) {
+      const auto n = static_cast<double>(merged->stream_length());
+      std::printf("last-4-windows HHH set from disk (N=%.0f, drops %" PRIu64
+                  "):\n",
+                  n, drops);
+      for (const rhhh::HhhCandidate& c : merged->output(theta)) {
+        std::printf("  %-36s ~%5.2f%%\n",
+                    merged->hierarchy().format(c.prefix).c_str(),
+                    100.0 * c.f_est / n);
+      }
+    }
+  }
   return 0;
 }

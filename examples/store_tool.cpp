@@ -1,0 +1,181 @@
+// store_tool: inspect, query, replay and compact a durable window store
+// directory (the segment log an archiver-enabled HhhEngine writes; see
+// src/store/).
+//
+//   store_tool inspect DIR
+//       Segments, window catalog, wall-clock coverage, total bytes; flags
+//       torn segments left by a crash.
+//   store_tool query DIR [--last K] [--from NS --to NS] [--theta T]
+//       Merge the selected windows (default: last 4) into one network-wide
+//       lattice and print its HHH set -- the cold-store equivalent of
+//       trend_snapshot()'s folded history.
+//   store_tool replay DIR [--theta T] [--top M]
+//       Walk the whole history oldest-first, printing each window's top
+//       HHHs: offline reprocessing through WindowArchive::Replay.
+//   store_tool compact DIR [--retain-bytes B]
+//       Rewrite torn segments as sealed ones and (with --retain-bytes)
+//       delete the oldest segments beyond the byte budget.
+//
+// Exits 0 on success, 1 on a corrupt/unusable store, 2 on usage errors.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "store/archive.hpp"
+
+namespace {
+
+using namespace rhhh;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: store_tool inspect DIR\n"
+               "       store_tool query DIR [--last K] [--from NS --to NS] "
+               "[--theta T]\n"
+               "       store_tool replay DIR [--theta T] [--top M]\n"
+               "       store_tool compact DIR [--retain-bytes B]\n");
+  return 2;
+}
+
+double wall_sec(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+void print_hhh(const Hierarchy& h, const HhhSet& set, double n, std::size_t top) {
+  std::size_t printed = 0;
+  for (const HhhCandidate& c : set) {
+    if (top != 0 && printed++ >= top) break;
+    std::printf("  %-40s ~%6.2f%%  (f=%.0f)\n", h.format(c.prefix).c_str(),
+                n > 0 ? 100.0 * c.f_est / n : 0.0, c.f_est);
+  }
+}
+
+int cmd_inspect(const store::WindowArchive& ar) {
+  std::printf("store: %s\n", ar.dir().c_str());
+  std::printf("  segments: %zu   windows: %zu   bytes: %" PRIu64 "%s\n",
+              ar.segments(), ar.windows(), ar.total_bytes(),
+              ar.truncated_tail() ? "   [TORN TAIL: run compact]" : "");
+  if (ar.hierarchy() != nullptr) {
+    std::printf("  hierarchy: %s (H=%zu)\n", ar.hierarchy()->name().c_str(),
+                ar.hierarchy()->size());
+  }
+  const std::vector<store::WindowMeta> metas = ar.list();
+  for (const store::WindowMeta& m : metas) {
+    std::printf("  window epoch=%-4" PRIu64 " N=%-10" PRIu64 " drops=%-8" PRIu64
+                " live=%.3fs wall=[%.3f, %.3f]\n",
+                m.epoch, m.stream_length, m.drops,
+                static_cast<double>(m.duration_ns) / 1e9,
+                wall_sec(m.wall_start_ns), wall_sec(m.wall_end_ns));
+  }
+  return 0;
+}
+
+int cmd_query(const store::WindowArchive& ar, std::size_t last, bool ranged,
+              std::int64_t from, std::int64_t to, double theta) {
+  std::uint64_t drops = 0;
+  std::unique_ptr<RhhhSpaceSaving> merged;
+  if (ranged) {
+    std::printf("query: wall range [%.3f, %.3f] s, theta=%.3g\n", wall_sec(from),
+                wall_sec(to), theta);
+    merged = ar.merged_range(from, to, &drops);
+  } else {
+    std::printf("query: last %zu window(s), theta=%.3g\n", last, theta);
+    merged = ar.merged_last(last, &drops);
+  }
+  if (merged == nullptr) {
+    std::printf("  (no windows matched)\n");
+    return 0;
+  }
+  const auto n = static_cast<double>(merged->stream_length());
+  std::printf("  merged N=%.0f (drops folded: %" PRIu64 ")\n", n, drops);
+  print_hhh(merged->hierarchy(), merged->output(theta), n, 0);
+  return 0;
+}
+
+int cmd_replay(const store::WindowArchive& ar, double theta, std::size_t top) {
+  store::WindowArchive::Replay it = ar.replay();
+  store::ArchivedWindow w;
+  while (it.next(w)) {
+    std::printf("window epoch=%" PRIu64 " N=%" PRIu64 " drops=%" PRIu64 "\n",
+                w.meta.epoch, w.meta.stream_length, w.meta.drops);
+    print_hhh(w.window->hierarchy(), w.window->output(theta),
+              static_cast<double>(w.meta.stream_length), top);
+  }
+  std::printf("replayed %zu window(s)\n", it.position());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+
+  std::size_t last = 4;
+  // A half-specified range is still a range: --from alone means "from
+  // there onward", --to alone means "everything up to there".
+  bool have_from = false;
+  bool have_to = false;
+  std::int64_t from = std::numeric_limits<std::int64_t>::min();
+  std::int64_t to = std::numeric_limits<std::int64_t>::max();
+  double theta = 0.05;
+  std::uint64_t retain = 0;
+  std::size_t top = 5;
+  for (int i = 3; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "store_tool: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--last") == 0) {
+      last = std::strtoull(need("--last"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--from") == 0) {
+      from = std::strtoll(need("--from"), nullptr, 10);
+      have_from = true;
+    } else if (std::strcmp(argv[i], "--to") == 0) {
+      to = std::strtoll(need("--to"), nullptr, 10);
+      have_to = true;
+    } else if (std::strcmp(argv[i], "--theta") == 0) {
+      theta = std::strtod(need("--theta"), nullptr);
+    } else if (std::strcmp(argv[i], "--retain-bytes") == 0) {
+      retain = std::strtoull(need("--retain-bytes"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top = std::strtoull(need("--top"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "store_tool: unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  try {
+    if (cmd == "inspect") {
+      return cmd_inspect(rhhh::store::WindowArchive::open_read(dir));
+    }
+    if (cmd == "query") {
+      return cmd_query(rhhh::store::WindowArchive::open_read(dir), last,
+                       have_from || have_to, from, to, theta);
+    }
+    if (cmd == "replay") {
+      return cmd_replay(rhhh::store::WindowArchive::open_read(dir), theta, top);
+    }
+    if (cmd == "compact") {
+      rhhh::ArchiveConfig cfg;
+      cfg.dir = dir;
+      rhhh::store::WindowArchive ar = rhhh::store::WindowArchive::open_write(cfg);
+      const std::size_t deleted = ar.compact(retain);
+      std::printf("compacted %s: %zu segment(s) deleted, %zu window(s) / "
+                  "%" PRIu64 " bytes remain\n",
+                  dir.c_str(), deleted, ar.windows(), ar.total_bytes());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "store_tool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

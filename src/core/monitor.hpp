@@ -76,6 +76,32 @@ enum class OverflowPolicy : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(OverflowPolicy p) noexcept;
 
+/// Durable window store settings (src/store/): where and how sealed windows
+/// are persisted. Used by the engine's background archiver (see
+/// EngineConfig::archive) and by WindowArchive::open_write directly. An
+/// empty `dir` disables archiving entirely.
+struct ArchiveConfig {
+  std::string dir;  ///< store directory (created on demand); empty = off
+  /// Roll to a new segment file once the current one reaches this many
+  /// bytes (records are never split across segments). 0 = never roll by
+  /// size (one segment per engine run).
+  std::uint64_t segment_bytes = 8ull << 20;
+  /// >0: also roll once the current segment's first window is this old
+  /// (wall-clock seconds) -- bounds how much history one torn segment can
+  /// cost after a crash.
+  std::uint32_t segment_seconds = 0;
+  /// >0: after each roll, delete the oldest sealed segments while the
+  /// store exceeds this many bytes (retention-by-bytes compaction; the
+  /// segment being written is never deleted). 0 = keep everything.
+  std::uint64_t retain_bytes = 0;
+  /// Bounded depth of the rotation -> archiver queue. A full queue drops
+  /// the sealed window (counted in EngineStats::archive_queue_drops)
+  /// rather than ever blocking a rotation on I/O.
+  std::size_t queue_windows = 8;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
 /// Configuration of the sharded multi-core ingest engine: a MonitorConfig
 /// restricted to the (mergeable) lattice algorithms, plus the fan-out
 /// topology. See HhhEngine (engine/engine.hpp) for the moving parts and
@@ -103,6 +129,14 @@ struct EngineConfig {
   /// k-epoch growth curves and sustained-ramp alarms at the cost of K
   /// extra lattices per shard.
   std::size_t history_depth = 1;
+
+  // -- durable window store (src/store/, HhhEngine background archiver) -----
+  /// When enabled (non-empty dir), every sealed window is merged
+  /// network-wide at rotation, handed to a background archiver thread
+  /// through a bounded queue, and appended to the on-disk segment log --
+  /// rotation never blocks on I/O. Requires a window clock or manual
+  /// rotate_epoch() calls to produce sealed windows at all.
+  ArchiveConfig archive{};
 };
 
 class HhhEngine;  // engine/engine.hpp

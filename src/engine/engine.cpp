@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "store/archive.hpp"
+
 namespace rhhh {
 
 // ------------------------------------------------------------- Producer ----
@@ -74,13 +76,19 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   if (cfg.history_depth == 0) {
     throw std::invalid_argument("HhhEngine: history_depth must be >= 1");
   }
+  if (cfg.archive.enabled() && cfg.archive.queue_windows == 0) {
+    throw std::invalid_argument("HhhEngine: archive queue_windows must be >= 1");
+  }
   // Throws for the (unmergeable) trie algorithms.
   std::tie(mode_, params_) = lattice_config_of(*hierarchy_, cfg.monitor);
   static_assert(RhhhSpaceSaving::backend_mergeable(),
                 "engine snapshots require a mergeable backend");
+  static_assert(RhhhSpaceSaving::backend_loadable(),
+                "the durable store requires a reloadable backend");
 
   pop_batch_ = std::clamp<std::size_t>(cfg.batch, 1, 4096);
   sealed_drops_.assign(cfg.history_depth, 0);
+  sealed_durations_ns_.assign(cfg.history_depth, 0);
   workers_.reserve(cfg.workers);
   for (std::uint32_t w = 0; w < cfg.workers; ++w) {
     auto ws = std::make_unique<WorkerState>();
@@ -114,6 +122,8 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   win_started_ns_.store(
       std::chrono::steady_clock::now().time_since_epoch().count(),
       std::memory_order_relaxed);
+  win_started_wall_ns_ =
+      std::chrono::system_clock::now().time_since_epoch().count();
 }
 
 HhhEngine::~HhhEngine() { stop(); }
@@ -131,7 +141,15 @@ void HhhEngine::start() {
   // snap_mu_ serializes all control ops (start/stop/snapshot/rotate) so a
   // no-quiesce snapshot can never overlap freshly spawned workers.
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
-  if (running_.exchange(true)) return;
+  if (running_.load(std::memory_order_relaxed)) return;
+  if (cfg_.archive.enabled() && archive_ == nullptr) {
+    // Opening the store can fail (bad directory, permissions): do it
+    // before anything else runs so a throwing start() leaves the engine
+    // fully stopped. Numbering continues after any existing segments.
+    archive_ = std::make_unique<store::WindowArchive>(
+        store::WindowArchive::open_write(cfg_.archive));
+  }
+  running_.store(true, std::memory_order_release);
   for (std::uint32_t w = 0; w < workers(); ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
   }
@@ -142,6 +160,13 @@ void HhhEngine::start() {
     win_processed_base_.store(processed_total(), std::memory_order_relaxed);
     const std::uint64_t gen = clock_gen_.load(std::memory_order_relaxed);
     clock_thread_ = std::thread([this, gen] { clock_loop(gen); });
+  }
+  if (archive_ != nullptr) {
+    win_started_wall_ns_ =
+        std::chrono::system_clock::now().time_since_epoch().count();
+    const std::uint64_t agen = archive_gen_.load(std::memory_order_relaxed);
+    archive_thread_ = std::thread(
+        [this, arch = archive_.get(), agen] { archive_loop(arch, agen); });
   }
 }
 
@@ -171,8 +196,139 @@ void HhhEngine::stop() {
   // without rotating as soon as it gets through.
   clock_gen_.fetch_add(1, std::memory_order_release);
   std::thread clock = std::move(clock_thread_);
+  // Retire the archiver the same way: generation bumped under arch_mu_ so
+  // its cv wait cannot miss the wakeup, handle and store taken under
+  // snap_mu_ so a concurrent start() spawns a fresh generation. With
+  // archive_ null, no further rotation can enqueue.
+  std::thread archiver = std::move(archive_thread_);
+  std::unique_ptr<store::WindowArchive> arch = std::move(archive_);
+  {
+    std::lock_guard<std::mutex> lk(arch_mu_);
+    archive_gen_.fetch_add(1, std::memory_order_release);
+  }
+  arch_cv_.notify_all();
   snap_lk.unlock();
   if (clock.joinable()) clock.join();
+  if (archiver.joinable()) archiver.join();
+  if (arch != nullptr) {
+    // The retired archiver drains the queue before exiting; sweep once
+    // more for pathological interleavings, then seal the segment so a
+    // cold reader gets the footer-indexed fast path.
+    for (;;) {
+      ArchiveItem item;
+      {
+        std::lock_guard<std::mutex> lk(arch_mu_);
+        if (archive_q_.empty()) break;
+        item = std::move(archive_q_.front());
+        archive_q_.pop_front();
+      }
+      archive_one(arch.get(), item);
+    }
+    try {
+      arch->close();
+    } catch (const std::exception&) {
+      archive_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void HhhEngine::archive_loop(store::WindowArchive* arch, std::uint64_t gen) {
+  for (;;) {
+    ArchiveItem item;
+    {
+      std::unique_lock<std::mutex> lk(arch_mu_);
+      arch_cv_.wait(lk, [&] {
+        return !archive_q_.empty() ||
+               archive_gen_.load(std::memory_order_acquire) != gen;
+      });
+      // Retired AND drained: exit. While records remain, keep draining
+      // even after retirement so stop() loses nothing.
+      if (archive_q_.empty()) return;
+      item = std::move(archive_q_.front());
+      archive_q_.pop_front();
+    }
+    // Decoding, merging, serialization and disk I/O all happen here,
+    // outside every engine lock: an archiver stalled on a slow disk
+    // delays nothing but the queue.
+    archive_one(arch, item);
+  }
+}
+
+void HhhEngine::archive_one(store::WindowArchive* arch, const ArchiveItem& item) {
+  try {
+    // Replay the exact cross-shard merge trend_snapshot() performs for its
+    // newest sealed window: a fresh same-configuration lattice, each shard
+    // merged in worker order (the decoded blobs reproduce the shard
+    // lattices' counter order, so the merge -- and therefore the persisted
+    // HHH sets -- are byte-identical to the in-memory view), this window's
+    // drops folded into N.
+    auto merged = make_shard_lattice(0x6e7ac000ULL ^ item.meta.epoch);
+    for (const store::Bytes& blob : item.shard_blobs) {
+      const auto shard = store::decode_window(blob.data(), blob.size(), *hierarchy_,
+                                              nullptr, &cfg_.monitor.hierarchy);
+      merged->merge(*shard);
+    }
+    if (item.meta.drops != 0) merged->advance_stream(item.meta.drops);
+    arch->append(item.meta, cfg_.monitor.hierarchy, *merged);
+    archived_windows_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    // Window lost (disk full, I/O error); count loudly and keep going.
+    archive_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
+                                std::uint64_t duration_ns,
+                                std::int64_t wall_start_ns,
+                                std::int64_t wall_end_ns) {
+  // A backlogged archiver (slow disk) means this window is going to be
+  // dropped anyway: check before paying for the blobs, so drops are
+  // near-free exactly when the system is already struggling. The final
+  // push re-checks under the same lock.
+  {
+    std::lock_guard<std::mutex> lk(arch_mu_);
+    if (archive_q_.size() >= cfg_.archive.queue_windows) {
+      archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Workers are already ingesting the next window; the just-sealed shard
+  // windows are immutable until the next rotation, which needs snap_mu_
+  // (held here). The rotation path pays only these flat per-shard
+  // serializations -- the cross-shard merge and all I/O run on the
+  // archiver thread -- and the queue hand-off below never blocks.
+  ArchiveItem item;
+  item.meta.epoch = window_epochs_.load(std::memory_order_relaxed);
+  item.meta.wall_start_ns = wall_start_ns;
+  item.meta.wall_end_ns = wall_end_ns;
+  item.meta.duration_ns = duration_ns;
+  item.meta.drops = sealed_drop;
+  item.shard_blobs.reserve(workers_.size());
+  std::uint64_t n = sealed_drop;
+  std::uint64_t updates = 0;
+  for (const auto& ws : workers_) {
+    const RhhhSpaceSaving& shard = ws->ring.sealed(0);
+    n += shard.stream_length();
+    updates += shard.updates_performed();
+    // Each blob carries its own shard's stream counters, so the decoded
+    // instances merge exactly like the live shard lattices would.
+    store::WindowMeta shard_meta = item.meta;
+    shard_meta.stream_length = shard.stream_length();
+    shard_meta.updates = shard.updates_performed();
+    item.shard_blobs.push_back(
+        store::encode_window(shard_meta, cfg_.monitor.hierarchy, shard));
+  }
+  item.meta.stream_length = n;
+  item.meta.updates = updates;
+  {
+    std::lock_guard<std::mutex> lk(arch_mu_);
+    if (archive_q_.size() >= cfg_.archive.queue_windows) {
+      archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    archive_q_.push_back(std::move(item));
+  }
+  arch_cv_.notify_one();
 }
 
 std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
@@ -318,6 +474,10 @@ EngineStats HhhEngine::collect_stats() const {
   }
   s.epochs = epoch_req_.load(std::memory_order_relaxed);
   s.window_epochs = window_epochs_.load(std::memory_order_relaxed);
+  s.archived_windows = archived_windows_.load(std::memory_order_relaxed);
+  s.archive_queue_drops = archive_queue_drops_.load(std::memory_order_relaxed);
+  s.archive_errors = archive_errors_.load(std::memory_order_relaxed);
+  s.trend_cache_hits = trend_cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -374,22 +534,45 @@ EngineSnapshot HhhEngine::snapshot() {
 }
 
 void HhhEngine::rotate_locked() {
+  std::uint64_t sealed_drop = 0;
+  std::uint64_t duration_ns = 0;
+  const std::int64_t wall_start_ns = win_started_wall_ns_;
+  const std::int64_t wall_end_ns =
+      std::chrono::system_clock::now().time_since_epoch().count();
   quiesced([&] {
     for (auto& ws : workers_) ws->ring.rotate();
     std::uint64_t d = 0;
     for (const auto& dr : ring_dropped_) d += dr->load(std::memory_order_relaxed);
     // Drops since the last boundary happened while the just-sealed window
     // was live: attribute them to it. The per-window drop ring ages in
-    // lockstep with the shard rings (newest first, oldest falls off).
-    sealed_drops_.insert(sealed_drops_.begin(), d - win_drops_base_);
+    // lockstep with the shard rings (newest first, oldest falls off), and
+    // the duration ring tracks how long each window was live (the
+    // wall-clock mode's duration-weighted baselines and archive metadata).
+    sealed_drop = d - win_drops_base_;
+    sealed_drops_.insert(sealed_drops_.begin(), sealed_drop);
     sealed_drops_.resize(cfg_.history_depth);
     win_drops_base_ = d;
     win_processed_base_.store(processed_total(), std::memory_order_relaxed);
-    win_started_ns_.store(
-        std::chrono::steady_clock::now().time_since_epoch().count(),
-        std::memory_order_relaxed);
+    const std::int64_t now_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    const std::int64_t started = win_started_ns_.load(std::memory_order_relaxed);
+    duration_ns =
+        now_ns > started ? static_cast<std::uint64_t>(now_ns - started) : 0;
+    sealed_durations_ns_.insert(sealed_durations_ns_.begin(), duration_ns);
+    sealed_durations_ns_.resize(cfg_.history_depth);
+    win_started_ns_.store(now_ns, std::memory_order_relaxed);
   });
+  win_started_wall_ns_ = wall_end_ns;
+  // The sealed-window set changed: cached trend merges are stale.
+  trend_cache_.clear();
+  trend_cache_epoch_ = ~std::uint64_t{0};
   window_epochs_.fetch_add(1, std::memory_order_release);
+  // Archiving runs after the workers resumed: the merge + queue hand-off
+  // cost control-plane time only, and never touch the disk (the archiver
+  // thread owns all I/O).
+  if (archive_ != nullptr) {
+    enqueue_archive(sealed_drop, duration_ns, wall_start_ns, wall_end_ns);
+  }
 }
 
 void HhhEngine::rotate_epoch() {
@@ -427,8 +610,6 @@ WindowedEngineSnapshot HhhEngine::window_snapshot() {
 TrendSnapshot HhhEngine::trend_snapshot() {
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
   std::unique_ptr<RhhhSpaceSaving> cur;
-  std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed;
-  std::vector<std::uint64_t> sealed_drops;
   EngineStats s;
   std::uint64_t cur_drops = 0;
   // Rotations hold snap_mu_ too, so the window count is stable here.
@@ -440,21 +621,47 @@ TrendSnapshot HhhEngine::trend_snapshot() {
     s = collect_stats();
     cur_drops = s.dropped - win_drops_base_;
     if (cur_drops != 0) cur->advance_stream(cur_drops);
+  });
+  // The sealed merges run after the workers resumed: sealed shard windows
+  // are immutable until the next rotation (which needs snap_mu_, held
+  // here), so only the live-window merge needs the quiesce pause -- and
+  // the merges themselves are cached until the window set changes, so a
+  // detection loop polling between rotations pays the live merge only.
+  const std::size_t m = workers_[0]->ring.sealed_count();
+  if (trend_cache_epoch_ != we) {
+    const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
+    trend_cache_.clear();
+    trend_cache_.reserve(m);
     // All shards rotate on one shared boundary, so age i of every shard
     // ring covers the same network-wide epoch: merge index-aligned.
-    const std::size_t m = workers_[0]->ring.sealed_count();
-    sealed.reserve(m);
-    sealed_drops.reserve(m);
     for (std::size_t age = 0; age < m; ++age) {
       auto merged = make_shard_lattice((0x6e7ab000ULL + (age << 20)) ^ e);
       for (const auto& ws : workers_) merged->merge(ws->ring.sealed(age));
       if (sealed_drops_[age] != 0) merged->advance_stream(sealed_drops_[age]);
-      sealed.push_back(std::move(merged));
-      sealed_drops.push_back(sealed_drops_[age]);
+      trend_cache_.emplace_back(std::move(merged));
     }
-  });
+    trend_cache_epoch_ = we;
+  } else {
+    trend_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<std::shared_ptr<const RhhhSpaceSaving>> sealed = trend_cache_;
+  std::vector<std::uint64_t> sealed_drops(sealed_drops_.begin(),
+                                          sealed_drops_.begin() +
+                                              static_cast<std::ptrdiff_t>(m));
+  std::vector<std::uint64_t> sealed_durs(
+      sealed_durations_ns_.begin(),
+      sealed_durations_ns_.begin() + static_cast<std::ptrdiff_t>(m));
+  const std::int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const std::int64_t started = win_started_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t cur_dur =
+      now_ns > started ? static_cast<std::uint64_t>(now_ns - started) : 0;
+  // Pure wall-clock rotation produces unequal-length windows; weigh the
+  // sustained-growth baseline by duration there (see window_ring.hpp).
+  const bool weighted = cfg_.epoch_millis > 0 && cfg_.epoch_packets == 0;
   return TrendSnapshot(std::move(cur), std::move(sealed), std::move(sealed_drops),
-                       std::move(s), we, cur_drops);
+                       std::move(sealed_durs), std::move(s), we, cur_drops,
+                       cur_dur, weighted);
 }
 
 std::unique_ptr<HhhEngine> make_engine(const EngineConfig& cfg) {

@@ -52,12 +52,24 @@
 // backpressure retry rounds per producer (OverflowPolicy::kBlock, the
 // lossless mode the throughput benches use), and consumed packets per
 // worker.
+//
+// Durable archiving (EngineConfig::archive, src/store/): when enabled,
+// every rotation merges the just-sealed shard windows into one
+// network-wide lattice *after* the workers have resumed (sealed slots are
+// immutable until the next rotation, which also needs snap_mu_) and hands
+// it to a background archiver thread through a bounded queue -- the packet
+// path never waits on the merge and no thread ever waits on the disk; a
+// full queue drops the window and counts it. The archiver serializes each
+// window (store/serde.hpp) and appends it to the segment log
+// (store/archive.hpp), where WindowArchive answers last-N / time-range
+// queries that reproduce trend_snapshot()'s sealed windows byte for byte.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -68,7 +80,12 @@
 #include "engine/shard_router.hpp"
 #include "engine/snapshot.hpp"
 #include "hhh/lattice_hhh.hpp"
+#include "store/serde.hpp"
 #include "util/spsc_ring.hpp"
+
+namespace rhhh::store {
+class WindowArchive;  // store/archive.hpp
+}
 
 namespace rhhh {
 
@@ -239,6 +256,19 @@ class HhhEngine {
   /// Total records the shards have disposed of (consumed + dropped); what
   /// the packet clock meters.
   [[nodiscard]] std::uint64_t processed_total() const;
+  struct ArchiveItem;  // defined with the archiver state below
+  /// Archiver thread body: drains the sealed-window queue into `arch`
+  /// until its generation is retired.
+  void archive_loop(store::WindowArchive* arch, std::uint64_t gen);
+  /// Snapshot the newest sealed shard windows as serialized blobs and
+  /// enqueue them for the archiver (or drop + count on a full queue).
+  /// Caller must hold snap_mu_, after the rotation completed.
+  void enqueue_archive(std::uint64_t sealed_drop, std::uint64_t duration_ns,
+                       std::int64_t wall_start_ns, std::int64_t wall_end_ns);
+  /// Archiver-side work for one queued window: decode the shard blobs,
+  /// merge them network-wide exactly like trend_snapshot()'s age-0 merge,
+  /// and append to `arch`. Counts success/failure.
+  void archive_one(store::WindowArchive* arch, const ArchiveItem& item);
   /// Parks every worker at the next quiesce boundary, runs fn while they
   /// are parked, resumes them; returns the quiesce generation. Caller must
   /// hold snap_mu_.
@@ -280,8 +310,12 @@ class HhhEngine {
   /// newest sealed window); size == cfg_.history_depth, slots beyond
   /// shard_sealed_windows() are zero. Written under snap_mu_.
   std::vector<std::uint64_t> sealed_drops_;
+  /// Steady-clock live duration of each retained sealed window, by age
+  /// (parallel to sealed_drops_). Written under snap_mu_.
+  std::vector<std::uint64_t> sealed_durations_ns_;
   std::atomic<std::uint64_t> win_processed_base_{0};  ///< processed at boundary
   std::atomic<std::int64_t> win_started_ns_{0};  ///< boundary steady-clock ns
+  std::int64_t win_started_wall_ns_ = 0;  ///< boundary system-clock ns (snap_mu_)
   /// Bumped by stop() to retire the current clock thread. stop() joins the
   /// moved-out handle after releasing snap_mu_ (joining under the lock
   /// would deadlock against a clock blocked on it for a rotation), so a
@@ -289,6 +323,40 @@ class HhhEngine {
   /// the token keeps the retired thread from ever rotating again.
   std::atomic<std::uint64_t> clock_gen_{0};
   std::thread clock_thread_;
+
+  // Merged-sealed-window cache for trend_snapshot(): the sealed windows
+  // (and their drops) are fixed between rotations, so their cross-shard
+  // merges are reusable until window_epochs_ changes. All fields written
+  // under snap_mu_; rotation invalidates. Entries are immutable shared
+  // merges, handed to TrendSnapshot by shared_ptr.
+  std::vector<std::shared_ptr<const RhhhSpaceSaving>> trend_cache_;  ///< [age]
+  std::uint64_t trend_cache_epoch_ = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> trend_cache_hits_{0};
+
+  // Background archiver (EngineConfig::archive). The queue is bounded:
+  // rotations enqueue (or drop + count) and never wait; the rotation-path
+  // cost is one flat serialization of each shard's just-sealed lattice
+  // (sealed slots are reused after K more rotations, so the archiver
+  // cannot read them in place). The archiver owns everything expensive:
+  // it decodes the shard blobs, replays the exact cross-shard merge
+  // trend_snapshot() would do (so the persisted window is byte-identical
+  // to the in-memory view), and appends to the segment log. start() opens
+  // the store and spawns the thread; stop() retires the generation, joins,
+  // drains the remainder synchronously and seals the segment. Queue state
+  // under arch_mu_.
+  struct ArchiveItem {
+    store::WindowMeta meta;
+    std::vector<store::Bytes> shard_blobs;  ///< [worker] sealed(0) images
+  };
+  std::deque<ArchiveItem> archive_q_;
+  std::mutex arch_mu_;
+  std::condition_variable arch_cv_;
+  std::atomic<std::uint64_t> archive_gen_{0};
+  std::thread archive_thread_;
+  std::unique_ptr<store::WindowArchive> archive_;
+  std::atomic<std::uint64_t> archived_windows_{0};
+  std::atomic<std::uint64_t> archive_queue_drops_{0};
+  std::atomic<std::uint64_t> archive_errors_{0};
 };
 
 }  // namespace rhhh

@@ -41,6 +41,14 @@ struct EngineStats {
   std::uint64_t backpressure_waits = 0;  ///< full-ring retry rounds of push()
   std::uint64_t epochs = 0;     ///< quiesce generations (snapshots + rotations)
   std::uint64_t window_epochs = 0;  ///< completed window rotations
+  std::uint64_t archived_windows = 0;  ///< sealed windows persisted to the store
+  /// Sealed windows lost because the rotation -> archiver queue was full
+  /// (rotation never blocks on I/O; see ArchiveConfig::queue_windows).
+  std::uint64_t archive_queue_drops = 0;
+  std::uint64_t archive_errors = 0;  ///< archiver I/O failures (window skipped)
+  /// trend_snapshot() calls served from the merged-sealed-window cache
+  /// (no re-merge: the window set was unchanged since the previous call).
+  std::uint64_t trend_cache_hits = 0;
   std::vector<std::uint64_t> per_worker_consumed;  ///< [worker]
   std::vector<std::uint64_t> per_ring_dropped;     ///< [producer * W + worker]
   std::vector<std::uint64_t> per_ring_pushed;      ///< [producer * W + worker]
@@ -147,19 +155,26 @@ class WindowedEngineSnapshot {
 /// one merged lattice per retained epoch (each shard ring's sealed windows
 /// merged index-aligned) plus the live (partial) window, every window's
 /// drops folded into its stream length. Sealed windows are indexed by age:
-/// window 0 is the most recently sealed epoch.
+/// window 0 is the most recently sealed epoch. The sealed merges are
+/// shared with the engine's per-epoch cache (they are immutable), so
+/// repeated polls between rotations pay only the live-window merge.
 class TrendSnapshot {
  public:
   TrendSnapshot(std::unique_ptr<RhhhSpaceSaving> current,
-                std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed,
-                std::vector<std::uint64_t> sealed_drops, EngineStats stats,
-                std::uint64_t window_epochs, std::uint64_t current_drops)
+                std::vector<std::shared_ptr<const RhhhSpaceSaving>> sealed,
+                std::vector<std::uint64_t> sealed_drops,
+                std::vector<std::uint64_t> sealed_durations_ns, EngineStats stats,
+                std::uint64_t window_epochs, std::uint64_t current_drops,
+                std::uint64_t current_duration_ns, bool duration_weighted)
       : current_(std::move(current)),
         sealed_(std::move(sealed)),
         sealed_drops_(std::move(sealed_drops)),
+        sealed_durations_ns_(std::move(sealed_durations_ns)),
         stats_(std::move(stats)),
         window_epochs_(window_epochs),
-        current_drops_(current_drops) {}
+        current_drops_(current_drops),
+        current_duration_ns_(current_duration_ns),
+        duration_weighted_(duration_weighted) {}
 
   /// Sealed epochs retained in this snapshot (<= EngineConfig::history_depth).
   [[nodiscard]] std::size_t sealed_windows() const noexcept { return sealed_.size(); }
@@ -187,10 +202,19 @@ class TrendSnapshot {
                          growth_factor);
   }
   /// EWMA-baseline sustained-growth alarms over the whole retained history
-  /// (see emerging_sustained_from in core/window_ring.hpp).
+  /// (see emerging_sustained_from in core/window_ring.hpp). Under the
+  /// pure wall-clock rotation mode the engine marks this snapshot
+  /// duration_weighted() and the baseline weighs each window by its
+  /// wall-clock length -- unequal idle windows no longer drag a stable
+  /// heavy hitter's baseline toward zero. Packet-clock windows are
+  /// equal-length by construction and use the plain epoch-weighted EWMA.
   [[nodiscard]] std::vector<SustainedPrefix> emerging_sustained(
       double theta, double growth_factor, std::uint32_t min_epochs,
       double alpha = 0.5) const {
+    if (duration_weighted_) {
+      return emerging_sustained_from(ordered_windows(), ordered_durations(),
+                                     theta, growth_factor, min_epochs, alpha);
+    }
     return emerging_sustained_from(ordered_windows(), theta, growth_factor,
                                    min_epochs, alpha);
   }
@@ -207,6 +231,18 @@ class TrendSnapshot {
   [[nodiscard]] std::uint64_t current_drops() const noexcept { return current_drops_; }
   [[nodiscard]] std::uint64_t window_drops(std::size_t age) const {
     return sealed_drops_[age];
+  }
+  /// Wall-clock (steady) duration each window spent live.
+  [[nodiscard]] std::uint64_t current_duration_ns() const noexcept {
+    return current_duration_ns_;
+  }
+  [[nodiscard]] std::uint64_t window_duration_ns(std::size_t age) const {
+    return sealed_durations_ns_[age];
+  }
+  /// True when emerging_sustained() weighs baseline windows by duration
+  /// (the engine's pure wall-clock rotation mode).
+  [[nodiscard]] bool duration_weighted() const noexcept {
+    return duration_weighted_;
   }
 
   [[nodiscard]] const RhhhSpaceSaving& current_algorithm() const noexcept {
@@ -230,14 +266,28 @@ class TrendSnapshot {
     out.push_back(current_.get());
     return out;
   }
+  /// Durations parallel to ordered_windows() (oldest -> newest -> live).
+  [[nodiscard]] std::vector<std::uint64_t> ordered_durations() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(sealed_.size() + 1);
+    for (std::size_t age = sealed_.size(); age-- > 0;) {
+      out.push_back(sealed_durations_ns_[age]);
+    }
+    out.push_back(current_duration_ns_);
+    return out;
+  }
 
   std::unique_ptr<RhhhSpaceSaving> current_;
-  /// Merged sealed windows by age (0 = newest sealed epoch).
-  std::vector<std::unique_ptr<RhhhSpaceSaving>> sealed_;
+  /// Merged sealed windows by age (0 = newest sealed epoch); shared with
+  /// the engine's cache, immutable once sealed.
+  std::vector<std::shared_ptr<const RhhhSpaceSaving>> sealed_;
   std::vector<std::uint64_t> sealed_drops_;  ///< [age], parallel to sealed_
+  std::vector<std::uint64_t> sealed_durations_ns_;  ///< [age]
   EngineStats stats_;
   std::uint64_t window_epochs_;
   std::uint64_t current_drops_;
+  std::uint64_t current_duration_ns_;
+  bool duration_weighted_;
 };
 
 }  // namespace rhhh

@@ -168,6 +168,32 @@ class SpaceSaving {
     total_ = combined_total;
   }
 
+  /// Rebuild this summary from a serialized roster (the durable store's
+  /// reload path). Entries must arrive in the counter-array order for_each
+  /// emits, so the reloaded instance reproduces the original's iteration
+  /// order (hence byte-identical downstream HHH sets); each increment()
+  /// assigns array slots sequentially, which preserves exactly that order.
+  /// `total` restores the arrivals count, which merge() legitimately keeps
+  /// above the sum of the retained counters. Throws std::invalid_argument
+  /// on impossible rosters (over capacity, zero counts, error > count) --
+  /// corrupt input must fail loudly, never corrupt the structure.
+  void load(const std::vector<HhEntry<Key>>& entries, std::uint64_t total) {
+    if (entries.size() > cap_) {
+      throw std::invalid_argument("SpaceSaving::load: roster exceeds capacity");
+    }
+    for (const HhEntry<Key>& e : entries) {
+      if (e.upper == 0 || e.lower > e.upper) {
+        throw std::invalid_argument("SpaceSaving::load: impossible entry bounds");
+      }
+    }
+    clear();
+    for (const HhEntry<Key>& e : entries) {
+      increment(e.key, e.upper);
+      counters_[*index_.find(e.key)].error = e.upper - e.lower;
+    }
+    total_ = total;
+  }
+
   /// Structural invariant check for tests: bucket list ascending and
   /// consistent, every counter indexed, counts summing to total().
   [[nodiscard]] bool validate() const {

@@ -175,6 +175,20 @@ void LatticeHhh<Backend>::merge(const LatticeHhh& other) {
 }
 
 template <class Backend>
+void LatticeHhh<Backend>::restore_node(std::uint32_t node,
+                                       const std::vector<HhEntry<Key128>>& entries,
+                                       std::uint64_t total) {
+  if (node >= H_) {
+    throw std::invalid_argument("LatticeHhh::restore_node: node out of range");
+  }
+  if constexpr (backend_loadable()) {
+    hh_[node].load(entries, total);
+  } else {
+    throw std::logic_error("LatticeHhh::restore_node: backend has no load path");
+  }
+}
+
+template <class Backend>
 void LatticeHhh<Backend>::clear() {
   for (auto& inst : hh_) inst.clear();
   n_ = 0;

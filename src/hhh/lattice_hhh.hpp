@@ -164,6 +164,29 @@ class LatticeHhh final : public HhhAlgorithm {
     return scale_ * static_cast<double>(hh_[p.node].upper(p.key));
   }
 
+  // -- durable-store reload (src/store/serde.cpp) ---------------------------
+  /// Rebuild node `node`'s backend from a serialized roster (counter-array
+  /// order, see SpaceSaving::load) plus its arrivals total. Only available
+  /// for backends with a load() path (Space-Saving); throws
+  /// std::logic_error otherwise and std::invalid_argument on impossible
+  /// rosters. The reloaded node reproduces the serialized instance's
+  /// estimates and iteration order exactly.
+  void restore_node(std::uint32_t node, const std::vector<HhEntry<Key128>>& entries,
+                    std::uint64_t total);
+  /// True iff the backend supports restore_node().
+  [[nodiscard]] static constexpr bool backend_loadable() noexcept {
+    return requires(Backend& b, const std::vector<HhEntry<Key128>>& e) {
+      b.load(e, std::uint64_t{0});
+    };
+  }
+  /// Restore the stream-level counters a reload cannot derive from the
+  /// rosters: N (which output() thresholds and slack terms scale by) and
+  /// the performed-updates tally.
+  void restore_stream(std::uint64_t n, std::uint64_t updates) noexcept {
+    n_ = n;
+    updates_ = updates;
+  }
+
  private:
   const Hierarchy* h_;
   LatticeMode mode_;

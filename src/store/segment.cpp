@@ -1,0 +1,258 @@
+#include "store/segment.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace rhhh::store {
+
+namespace {
+
+// File magics, spelled as little-endian byte sequences: "RHHS" opens a
+// segment, "WREC" opens each record frame, "RHHF" closes the footer.
+constexpr std::uint32_t kSegmentMagic = 0x53484852u;  // 'R','H','H','S'
+constexpr std::uint32_t kRecordMagic = 0x43455257u;   // 'W','R','E','C'
+constexpr std::uint32_t kFooterMagic = 0x46484852u;   // 'R','H','H','F'
+constexpr std::uint32_t kSegmentFormatVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 16;  // magic, version, hdr len, flags
+constexpr std::size_t kRecordFrameBytes = 12;    // magic, payload len, payload crc
+constexpr std::size_t kTrailerBytes = 20;  // index offset u64, len u32, crc u32, magic
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("store: " + path + ": " + what);
+}
+
+void write_all(std::FILE* f, const std::string& path, const std::uint8_t* data,
+               std::size_t len) {
+  if (len != 0 && std::fwrite(data, 1, len, f) != len) fail(path, "short write");
+}
+
+/// Seek with a full 64-bit offset: std::fseek takes `long`, which is 32
+/// bits on some ABIs and would wrap once a segment outgrows 2 GiB (size
+/// rolling can be disabled). POSIX fseeko carries off_t; elsewhere, refuse
+/// loudly instead of seeking to a wrapped offset.
+bool seek_to(std::FILE* f, std::uint64_t offset) {
+#if defined(_WIN32)
+  return _fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
+#elif defined(__unix__) || defined(__APPLE__)
+  return fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
+#else
+  if (offset > static_cast<std::uint64_t>(std::numeric_limits<long>::max())) {
+    return false;
+  }
+  return std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+#endif
+}
+
+/// Reads exactly `len` bytes at `offset`; false on short read (EOF).
+bool read_exact_at(std::FILE* f, std::uint64_t offset, std::uint8_t* out,
+                   std::size_t len) {
+  if (!seek_to(f, offset)) return false;
+  return std::fread(out, 1, len, f) == len;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_read(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) fail(path, "cannot open for reading");
+  return f;
+}
+
+}  // namespace
+
+Bytes read_record_at(const std::string& path, std::uint64_t offset,
+                     std::uint32_t expect_length) {
+  FilePtr f = open_read(path);
+  std::uint8_t frame[kRecordFrameBytes];
+  if (!read_exact_at(f.get(), offset, frame, sizeof frame)) {
+    fail(path, "truncated record frame");
+  }
+  ByteReader r(frame, sizeof frame);
+  if (r.u32() != kRecordMagic) fail(path, "bad record magic");
+  const std::uint32_t len = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (len != expect_length) fail(path, "record length does not match the index");
+  Bytes payload(len);
+  if (!read_exact_at(f.get(), offset + kRecordFrameBytes, payload.data(), len)) {
+    fail(path, "truncated record payload");
+  }
+  if (crc32(payload) != crc) fail(path, "record payload CRC mismatch");
+  return payload;
+}
+
+// ---------------------------------------------------------- SegmentWriter --
+
+SegmentWriter::SegmentWriter(std::string path) : path_(std::move(path)) {
+  f_ = std::fopen(path_.c_str(), "wb");
+  if (f_ == nullptr) fail(path_, "cannot create segment");
+  ByteWriter h;
+  h.u32(kSegmentMagic);
+  h.u32(kSegmentFormatVersion);
+  h.u32(static_cast<std::uint32_t>(kSegmentHeaderBytes));
+  h.u32(0);  // flags
+  write_all(f_, path_, h.bytes().data(), h.size());
+  bytes_ = h.size();
+  if (std::fflush(f_) != 0) fail(path_, "flush failed");
+}
+
+SegmentWriter::~SegmentWriter() {
+  try {
+    seal();
+  } catch (...) {  // NOLINT(bugprone-empty-catch): destructor must not throw
+  }
+}
+
+SegmentIndexEntry SegmentWriter::append(const Bytes& payload, std::uint64_t epoch,
+                                        std::int64_t wall_start_ns,
+                                        std::int64_t wall_end_ns) {
+  if (f_ == nullptr) fail(path_, "append on a sealed segment");
+  SegmentIndexEntry e;
+  e.offset = bytes_;
+  e.length = static_cast<std::uint32_t>(payload.size());
+  e.epoch = epoch;
+  e.wall_start_ns = wall_start_ns;
+  e.wall_end_ns = wall_end_ns;
+
+  ByteWriter frame;
+  frame.u32(kRecordMagic);
+  frame.u32(e.length);
+  frame.u32(crc32(payload));
+  write_all(f_, path_, frame.bytes().data(), frame.size());
+  write_all(f_, path_, payload.data(), payload.size());
+  // Per-record flush: a crash loses at most the record being written, and
+  // the scan path of a concurrent reader sees only completed frames.
+  if (std::fflush(f_) != 0) fail(path_, "flush failed");
+  bytes_ += frame.size() + payload.size();
+  index_.push_back(e);
+  return e;
+}
+
+void SegmentWriter::seal() {
+  if (f_ == nullptr) return;
+  ByteWriter idx;
+  idx.u32(static_cast<std::uint32_t>(index_.size()));
+  for (const SegmentIndexEntry& e : index_) {
+    idx.u64(e.offset);
+    idx.u32(e.length);
+    idx.u64(e.epoch);
+    idx.i64(e.wall_start_ns);
+    idx.i64(e.wall_end_ns);
+  }
+  ByteWriter trailer;
+  trailer.u64(bytes_);  // index offset
+  trailer.u32(static_cast<std::uint32_t>(idx.size()));
+  trailer.u32(crc32(idx.bytes()));
+  trailer.u32(kFooterMagic);
+  write_all(f_, path_, idx.bytes().data(), idx.size());
+  write_all(f_, path_, trailer.bytes().data(), trailer.size());
+  bytes_ += idx.size() + trailer.size();
+  const bool ok = std::fflush(f_) == 0;
+  std::fclose(f_);
+  f_ = nullptr;
+  if (!ok) fail(path_, "flush failed while sealing");
+}
+
+// ---------------------------------------------------------- SegmentReader --
+
+SegmentReader::SegmentReader(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  const std::uintmax_t fsize = std::filesystem::file_size(path_, ec);
+  if (ec) fail(path_, "cannot stat segment");
+  FilePtr f = open_read(path_);
+
+  std::uint8_t hdr[kSegmentHeaderBytes];
+  if (fsize < kSegmentHeaderBytes ||
+      !read_exact_at(f.get(), 0, hdr, sizeof hdr)) {
+    fail(path_, "not a segment (short header)");
+  }
+  ByteReader hr(hdr, sizeof hdr);
+  if (hr.u32() != kSegmentMagic) fail(path_, "not a segment (bad magic)");
+  const std::uint32_t version = hr.u32();
+  if (version != kSegmentFormatVersion) {
+    fail(path_, "unsupported segment format version " + std::to_string(version));
+  }
+  const std::uint32_t header_bytes = hr.u32();
+  if (header_bytes < kSegmentHeaderBytes || header_bytes > fsize) {
+    fail(path_, "implausible segment header length");
+  }
+
+  // Sealed path: a valid trailer at EOF addresses every record directly.
+  if (fsize >= header_bytes + kTrailerBytes) {
+    std::uint8_t tr[kTrailerBytes];
+    if (read_exact_at(f.get(), fsize - kTrailerBytes, tr, sizeof tr)) {
+      ByteReader trr(tr, sizeof tr);
+      const std::uint64_t idx_off = trr.u64();
+      const std::uint32_t idx_len = trr.u32();
+      const std::uint32_t idx_crc = trr.u32();
+      if (trr.u32() == kFooterMagic && idx_off >= header_bytes &&
+          idx_off + idx_len + kTrailerBytes == fsize) {
+        Bytes idx(idx_len);
+        if (read_exact_at(f.get(), idx_off, idx.data(), idx_len) &&
+            crc32(idx) == idx_crc) {
+          ByteReader ir(idx.data(), idx.size());
+          const std::uint32_t count = ir.u32();
+          index_.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            SegmentIndexEntry e;
+            e.offset = ir.u64();
+            e.length = ir.u32();
+            e.epoch = ir.u64();
+            e.wall_start_ns = ir.i64();
+            e.wall_end_ns = ir.i64();
+            if (e.offset < header_bytes ||
+                e.offset + kRecordFrameBytes + e.length > idx_off) {
+              fail(path_, "footer index entry out of bounds");
+            }
+            index_.push_back(e);
+          }
+          sealed_ = true;
+          return;
+        }
+      }
+    }
+  }
+
+  // Scan path (torn segment): accept frames until one fails to verify.
+  std::uint64_t pos = header_bytes;
+  while (pos + kRecordFrameBytes <= fsize) {
+    std::uint8_t frame[kRecordFrameBytes];
+    if (!read_exact_at(f.get(), pos, frame, sizeof frame)) break;
+    ByteReader fr(frame, sizeof frame);
+    if (fr.u32() != kRecordMagic) break;
+    const std::uint32_t len = fr.u32();
+    const std::uint32_t crc = fr.u32();
+    if (pos + kRecordFrameBytes + len > fsize) break;
+    Bytes payload(len);
+    if (!read_exact_at(f.get(), pos + kRecordFrameBytes, payload.data(), len)) break;
+    if (crc32(payload) != crc) break;
+    SegmentIndexEntry e;
+    e.offset = pos;
+    e.length = len;
+    try {
+      const WindowHeader wh = decode_window_header(payload.data(), payload.size());
+      e.epoch = wh.meta.epoch;
+      e.wall_start_ns = wh.meta.wall_start_ns;
+      e.wall_end_ns = wh.meta.wall_end_ns;
+    } catch (const std::runtime_error&) {
+      break;  // CRC-valid frame with an unreadable record: stop before it
+    }
+    index_.push_back(e);
+    pos += kRecordFrameBytes + len;
+  }
+  truncated_ = pos != fsize;
+}
+
+Bytes SegmentReader::read(std::size_t i) const {
+  if (i >= index_.size()) fail(path_, "record index out of range");
+  return read_record_at(path_, index_[i].offset, index_[i].length);
+}
+
+}  // namespace rhhh::store

@@ -1,0 +1,119 @@
+// Append-only segment files for the durable window store.
+//
+// A segment is one file of CRC-framed window records followed by a footer
+// index (the Akumuli/Confluo append-log shape: immutable once sealed,
+// random access through a tail index, whole-file deletion as the
+// compaction unit):
+//
+//   [segment header]            magic, format version, header length
+//   [record]*                   rec magic | payload len | payload CRC | payload
+//   [footer index]              per record: offset, len, epoch, wall span
+//   [footer trailer]            index offset | index len | index CRC | magic
+//
+// A cleanly closed (sealed) segment is read through the trailer: seek to
+// the end, validate the trailer magic and the index CRC, and every record
+// is addressable without touching its payload. A segment that was being
+// written when the process died has no trailer; the reader then *scans*
+// records from the front, accepting every frame whose magic, length and
+// CRC check out and stopping at the first that does not -- the records
+// before the tear survive, the torn tail is reported, and nothing is ever
+// undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/serde.hpp"
+
+namespace rhhh::store {
+
+/// One record's position and query-relevant metadata inside a segment --
+/// what the footer index persists so time-range pruning and last-N
+/// selection never decode payloads.
+struct SegmentIndexEntry {
+  std::uint64_t offset = 0;  ///< file offset of the record frame
+  std::uint32_t length = 0;  ///< payload bytes (frame adds 12)
+  std::uint64_t epoch = 0;
+  std::int64_t wall_start_ns = 0;
+  std::int64_t wall_end_ns = 0;
+};
+
+/// Reads one framed record at `offset` in `path` and returns its payload,
+/// validating the frame magic, the declared length and the payload CRC;
+/// throws std::runtime_error on any mismatch. The shared low-level read
+/// used by SegmentReader and by the archive's open-segment reads.
+[[nodiscard]] Bytes read_record_at(const std::string& path, std::uint64_t offset,
+                                   std::uint32_t expect_length);
+
+/// Writes a new segment file. Records are fully flushed per append (a
+/// reader's scan path sees every completed append even before the segment
+/// is sealed); seal() writes the footer and closes.
+class SegmentWriter {
+ public:
+  /// Creates `path` (truncating any leftover) and writes the header.
+  /// Throws std::runtime_error when the file cannot be created.
+  explicit SegmentWriter(std::string path);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one framed record; returns its index entry (offset filled in).
+  SegmentIndexEntry append(const Bytes& payload, std::uint64_t epoch,
+                           std::int64_t wall_start_ns, std::int64_t wall_end_ns);
+
+  /// Bytes written so far, frames and header included (the roll criterion).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t records() const noexcept { return index_.size(); }
+  /// Wall-clock start of the first record, or 0 when empty (age-based roll).
+  [[nodiscard]] std::int64_t first_wall_ns() const noexcept {
+    return index_.empty() ? 0 : index_.front().wall_start_ns;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::vector<SegmentIndexEntry>& index() const noexcept {
+    return index_;
+  }
+
+  /// Writes the footer index + trailer and closes the file. Idempotent;
+  /// also run by the destructor (which swallows errors -- call seal()
+  /// explicitly when you need them).
+  void seal();
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::vector<SegmentIndexEntry> index_;
+};
+
+/// Opens a segment for reading: through the footer when sealed, by forward
+/// scan otherwise. Construction validates the header (magic + version) and
+/// throws std::runtime_error on a file that is not a segment at all.
+class SegmentReader {
+ public:
+  explicit SegmentReader(std::string path);
+
+  /// True when a valid footer was found (cleanly closed segment).
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// True when an unsealed scan stopped at a torn/corrupt frame (records
+  /// before it are still served).
+  [[nodiscard]] bool truncated_tail() const noexcept { return truncated_; }
+  [[nodiscard]] const std::vector<SegmentIndexEntry>& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] std::size_t records() const noexcept { return index_.size(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Payload of record `i`, CRC-checked; throws std::runtime_error on
+  /// corruption (a sealed index can outlive a later payload flip).
+  [[nodiscard]] Bytes read(std::size_t i) const;
+
+ private:
+  std::string path_;
+  bool sealed_ = false;
+  bool truncated_ = false;
+  std::vector<SegmentIndexEntry> index_;
+};
+
+}  // namespace rhhh::store

@@ -10,9 +10,12 @@
 // epoch, exactly the k-epoch growth curve trend() exists to expose.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/windowed.hpp"
@@ -187,6 +190,205 @@ TEST(TrendConformance, EngineDepthFourSharesMatchExactReplay) {
     if (h.generalizes(sp.now.prefix, s.attack_bottom)) alarmed = true;
   }
   EXPECT_TRUE(alarmed);
+}
+
+// ------------------------------------------------- trend snapshot cache ----
+
+namespace golden {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t digest_set(const Hierarchy& h, const HhhSet& s) {
+  std::vector<std::string> lines;
+  lines.reserve(s.size());
+  for (const HhhCandidate& c : s) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s|%.17g|%.17g", h.format(c.prefix).c_str(),
+                  c.f_est, c.c_hat);
+    lines.emplace_back(buf);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t d = 0xcbf29ce484222325ULL;
+  for (const std::string& l : lines) d = fnv1a(d, l);
+  return d;
+}
+
+}  // namespace golden
+
+TEST(TrendCache, RepeatedPollsReuseSealedMergesUnchanged) {
+  EngineConfig cfg;
+  cfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  cfg.monitor.eps = 0.05;
+  cfg.monitor.delta = 0.05;
+  cfg.monitor.seed = 23;
+  cfg.workers = 3;
+  cfg.producers = 1;
+  cfg.history_depth = 4;
+  HhhEngine eng(cfg);
+  const Hierarchy& h = eng.hierarchy();
+  const RampStream s = make_ramp_stream(h);
+
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  std::uint64_t next_rotate = kEpoch;
+  for (std::uint64_t i = 0; i < s.n(); ++i) {
+    prod.ingest(s.keys[i]);
+    if (i + 1 == next_rotate) {
+      prod.flush();
+      eng.rotate_epoch();
+      next_rotate += kEpoch;
+    }
+  }
+  prod.flush();
+  eng.stop();
+
+  // First poll merges and caches; repeated polls between rotations reuse
+  // the sealed merges and must answer identically.
+  const TrendSnapshot first = eng.trend_snapshot();
+  const TrendSnapshot second = eng.trend_snapshot();
+  const TrendSnapshot third = eng.trend_snapshot();
+  EXPECT_EQ(eng.stats().trend_cache_hits, 2u);
+  ASSERT_EQ(second.sealed_windows(), first.sealed_windows());
+  for (std::size_t age = 0; age < first.sealed_windows(); ++age) {
+    EXPECT_EQ(second.window_length(age), first.window_length(age));
+    EXPECT_EQ(golden::digest_set(h, second.window(age, 0.15)),
+              golden::digest_set(h, first.window(age, 0.15)))
+        << "age " << age;
+    EXPECT_EQ(golden::digest_set(h, third.window(age, 0.15)),
+              golden::digest_set(h, first.window(age, 0.15)))
+        << "age " << age;
+  }
+  // The shared merges really are shared (no re-merge): same instances.
+  EXPECT_EQ(&first.window_algorithm(0), &second.window_algorithm(0));
+
+  // A rotation invalidates the cache: the next poll re-merges (hit count
+  // unchanged) and the ages shift by one epoch.
+  eng.rotate_epoch();
+  const TrendSnapshot after = eng.trend_snapshot();
+  EXPECT_EQ(eng.stats().trend_cache_hits, 2u);
+  EXPECT_NE(&after.window_algorithm(0), &first.window_algorithm(0));
+  EXPECT_EQ(golden::digest_set(h, after.window(1, 0.15)),
+            golden::digest_set(h, first.window(0, 0.15)));
+}
+
+// --------------------------------------- duration-weighted EWMA baseline ----
+
+namespace {
+
+/// An MST window with `target_n` packets of the probed key and
+/// `background_n` spread over distinct background keys (exact estimates:
+/// deterministic shares).
+std::unique_ptr<RhhhSpaceSaving> mst_window(const Hierarchy& h,
+                                            Key128 target, std::uint64_t target_n,
+                                            std::uint64_t background_n) {
+  LatticeParams lp;
+  lp.eps = 0.1;
+  lp.delta = 0.1;
+  auto lat = std::make_unique<RhhhSpaceSaving>(h, LatticeMode::kMst, lp);
+  for (std::uint64_t i = 0; i < target_n; ++i) lat->update(target);
+  for (std::uint64_t i = 0; i < background_n; ++i) {
+    lat->update(Key128::from_u32(static_cast<std::uint32_t>(0x0A000000 + i % 50)));
+  }
+  return lat;
+}
+
+}  // namespace
+
+TEST(DurationWeightedSustained, IdleBlipsNoLongerFakeRamps) {
+  // Wall-clock windows: a stable 50%-share aggregate, two near-empty idle
+  // windows of 1% the duration, then two more stable windows (the "run").
+  // Epoch-weighted EWMA lets the idle windows crush the baseline and fires
+  // a spurious sustained-ramp alarm; duration weighting keeps the baseline
+  // honest and stays quiet. Equal durations must reproduce the unweighted
+  // answer exactly.
+  const Hierarchy h = Hierarchy::ipv4_1d(Granularity::kByte);
+  const Ipv4 target_ip = ipv4(66, 66, 1, 2);
+  const Key128 target = Key128::from_u32(target_ip);
+
+  std::vector<std::unique_ptr<RhhhSpaceSaving>> own;
+  own.push_back(mst_window(h, target, 500, 500));  // stable: share 0.5
+  own.push_back(mst_window(h, target, 0, 10));     // idle blip
+  own.push_back(mst_window(h, target, 0, 10));     // idle blip
+  own.push_back(mst_window(h, target, 500, 500));  // run window
+  own.push_back(mst_window(h, target, 500, 500));  // live window
+  std::vector<const HhhAlgorithm*> windows;
+  windows.reserve(own.size());
+  for (const auto& w : own) windows.push_back(w.get());
+  const std::vector<std::uint64_t> durations = {
+      10'000'000'000, 100'000'000, 100'000'000, 10'000'000'000, 10'000'000'000};
+
+  const auto hits_target = [&](const std::vector<SustainedPrefix>& alarms) {
+    for (const SustainedPrefix& sp : alarms) {
+      if (sp.now.prefix.node == h.bottom() && sp.now.prefix.key == target) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Epoch-weighted: baseline 0.5 -> 0.25 -> 0.125; run shares 0.5 clear a
+  // 2x bar over it -- the spurious alarm this satellite removes.
+  EXPECT_TRUE(hits_target(emerging_sustained_from(windows, 0.3, 2.0, 2, 0.5)));
+  // Duration-weighted: the 0.1 s blips barely dent a 10 s baseline
+  // (effective alpha ~2%), so 0.5 never doubles it -- no alarm.
+  EXPECT_FALSE(hits_target(
+      emerging_sustained_from(windows, durations, 0.3, 2.0, 2, 0.5)));
+
+  // Equal durations: the weighted overload degenerates to the plain one.
+  const std::vector<std::uint64_t> equal(windows.size(), 5'000'000'000);
+  const auto plain = emerging_sustained_from(windows, 0.3, 2.0, 2, 0.5);
+  const auto weighted =
+      emerging_sustained_from(windows, equal, 0.3, 2.0, 2, 0.5);
+  ASSERT_EQ(plain.size(), weighted.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].now.prefix, weighted[i].now.prefix);
+    EXPECT_DOUBLE_EQ(plain[i].baseline_share, weighted[i].baseline_share);
+    EXPECT_DOUBLE_EQ(plain[i].min_run_share, weighted[i].min_run_share);
+  }
+
+  // Zero-duration windows carry no weight at all: with the idle blips at
+  // duration 0 the baseline is exactly the stable windows'.
+  const std::vector<std::uint64_t> zeroed = {10'000'000'000, 0, 0,
+                                             10'000'000'000, 10'000'000'000};
+  for (const SustainedPrefix& sp :
+       emerging_sustained_from(windows, zeroed, 0.3, 2.0, 2, 0.5)) {
+    EXPECT_NE(sp.now.prefix.key, target);
+  }
+
+  // Mis-sized durations are refused loudly.
+  const std::vector<std::uint64_t> short_durs(2, 1);
+  EXPECT_THROW(
+      (void)emerging_sustained_from(windows, short_durs, 0.3, 2.0, 2, 0.5),
+      std::invalid_argument);
+}
+
+TEST(DurationWeightedSustained, EngineFlagsWallClockModeOnly) {
+  EngineConfig cfg;
+  cfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  cfg.monitor.eps = 0.1;
+  cfg.monitor.delta = 0.1;
+  cfg.workers = 2;
+  cfg.producers = 1;
+
+  cfg.epoch_millis = 50;  // pure wall-clock rotation
+  {
+    HhhEngine eng(cfg);
+    EXPECT_TRUE(eng.trend_snapshot().duration_weighted());
+  }
+  cfg.epoch_millis = 0;
+  cfg.epoch_packets = 1000;  // packet clock: equal windows, plain EWMA
+  {
+    HhhEngine eng(cfg);
+    const TrendSnapshot snap = eng.trend_snapshot();
+    EXPECT_FALSE(snap.duration_weighted());
+    EXPECT_GT(snap.current_duration_ns(), 0u);
+  }
 }
 
 }  // namespace
