@@ -1,6 +1,19 @@
-# ASan + UBSan instrumentation for the whole tree (RHHH_SANITIZE=ON, used by
-# the `asan` preset). Applied globally rather than per-target so that
-# rhhh_core, gtest glue and test binaries all agree on the runtime.
+# Sanitizer instrumentation for the whole tree. Applied globally rather than
+# per-target so that rhhh_core, gtest glue and test binaries all agree on the
+# runtime.
+#
+#   RHHH_SANITIZE=ON  -- ASan + UBSan (the `asan` preset)
+#   RHHH_TSAN=ON      -- ThreadSanitizer (the `tsan` preset): the concurrency
+#                        gate over the engine's lock-free hot path (SPSC
+#                        rings, coordinator budget metering, epoch quiesce,
+#                        archiver hand-off). Mutually exclusive with ASan --
+#                        the runtimes cannot share a process.
+
+if(RHHH_SANITIZE AND RHHH_TSAN)
+  message(FATAL_ERROR "RHHH_SANITIZE (ASan) and RHHH_TSAN cannot be combined: "
+    "the sanitizer runtimes are mutually exclusive. Configure one preset at a "
+    "time (build-asan / build-tsan are separate binary dirs).")
+endif()
 
 if(RHHH_SANITIZE)
   if(MSVC)
@@ -13,4 +26,17 @@ if(RHHH_SANITIZE)
       -g)
     add_link_options(-fsanitize=address,undefined)
   endif()
+endif()
+
+if(RHHH_TSAN)
+  if(MSVC)
+    message(FATAL_ERROR "RHHH_TSAN requires a GCC/Clang toolchain")
+  endif()
+  # -O1/-O2 keep the instrumented hot loops fast enough for the stress
+  # suites; frame pointers keep TSan's reports readable.
+  add_compile_options(
+    -fsanitize=thread
+    -fno-omit-frame-pointer
+    -g)
+  add_link_options(-fsanitize=thread)
 endif()

@@ -61,6 +61,14 @@ int cmd_inspect(const store::WindowArchive& ar) {
     std::printf("  hierarchy: %s (H=%zu)\n", ar.hierarchy()->name().c_str(),
                 ar.hierarchy()->size());
   }
+  for (std::size_t s = 0; s < ar.segments(); ++s) {
+    const std::uint64_t rid = ar.segment_run_id(s);
+    if (rid != 0) {
+      std::printf("  segment %zu run-id=%016" PRIx64 "\n", s, rid);
+    } else {
+      std::printf("  segment %zu run-id=unknown (v1 segment)\n", s);
+    }
+  }
   const std::vector<store::WindowMeta> metas = ar.list();
   for (const store::WindowMeta& m : metas) {
     std::printf("  window epoch=%-4" PRIu64 " N=%-10" PRIu64 " drops=%-8" PRIu64

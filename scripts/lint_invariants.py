@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint (runs as the `lint_invariants` ctest).
+
+Checks things no generic tool enforces:
+
+1. Atomic discipline: in any file under src/ that uses std::atomic, every
+   atomic access (.load/.store/.exchange/.fetch_*/.compare_exchange_*) must
+   (a) pass an explicit std::memory_order argument -- never the seq_cst
+       default, which hides the intent, and
+   (b) sit next to a `// order:` comment stating the invariant the chosen
+       ordering protects. "Next to" means: on the access line, inside the
+       same (possibly multi-line) statement, or in the comment block
+       immediately above the access cluster -- consecutive atomic-access
+       lines share one comment; at most LOOKBACK_BUDGET unrelated lines may
+       separate an access from its justification.
+2. Hot-path headers stay mutex-free: headers under src/util/, src/core/,
+   src/hh/, src/hhh/ must not include <mutex>, <shared_mutex>, or
+   <condition_variable> (the engine's control plane lives in src/engine/,
+   which may).
+3. Every header under src/ starts with #pragma once.
+
+Exit code 0 when clean, 1 with one line per finding otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ACCESS_RE = re.compile(
+    r"""(?:\.|->)
+        (load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|
+         fetch_xor|compare_exchange_weak|compare_exchange_strong)
+        \s*\(""",
+    re.VERBOSE,
+)
+ORDER_COMMENT_RE = re.compile(r"//.*\border:")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order(_\w+|::\w+)")
+
+# Unrelated (non-comment, non-atomic-access) lines allowed between an access
+# and the `// order:` comment that justifies it.
+LOOKBACK_BUDGET = 4
+# Hard cap on how far the upward walk goes, whatever the line mix.
+LOOKBACK_MAX = 30
+
+HOT_PATH_DIRS = ("util", "core", "hh", "hhh")
+FORBIDDEN_INCLUDES = re.compile(
+    r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so tokens inside them don't match."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def gather_statement(lines: list[str], row: int, col: int) -> str:
+    """The full call expression starting at lines[row][col] (an opening
+    paren), across physical lines until the parens balance."""
+    depth = 0
+    out = []
+    r, c = row, col
+    while r < len(lines):
+        segment = strip_strings(lines[r])
+        start = c if r == row else 0
+        for i in range(start, len(segment)):
+            ch = segment[i]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    out.append(segment[start : i + 1])
+                    return "\n".join(out)
+        out.append(segment[start:])
+        r, c = r + 1, 0
+    return "\n".join(out)
+
+
+def has_adjacent_order_comment(lines: list[str], row: int) -> bool:
+    """True when an `// order:` comment covers lines[row]'s access: same
+    line, or found walking upward through the access cluster (comments and
+    other atomic-access lines are free; anything else eats the budget)."""
+    if ORDER_COMMENT_RE.search(lines[row]):
+        return True
+    budget = LOOKBACK_BUDGET
+    for back in range(1, LOOKBACK_MAX + 1):
+        j = row - back
+        if j < 0:
+            return False
+        stripped = lines[j].strip()
+        if stripped.startswith("//"):
+            if ORDER_COMMENT_RE.search(stripped):
+                return True
+            continue  # non-order comment: keep walking, free
+        if ACCESS_RE.search(strip_strings(stripped)) or MEMORY_ORDER_RE.search(
+            stripped
+        ):
+            continue  # same access cluster: free
+        budget -= 1
+        if budget < 0:
+            return False
+    return False
+
+
+def lint_atomics(path: Path, rel: str, findings: list[str]) -> None:
+    text = path.read_text(encoding="utf-8")
+    if "std::atomic" not in text and "memory_order" not in text:
+        return
+    lines = text.splitlines()
+    for row, raw in enumerate(lines):
+        code = strip_strings(raw)
+        if code.lstrip().startswith("//"):
+            continue
+        for m in ACCESS_RE.finditer(code):
+            # The paren ACCESS_RE matched is the last char of the match.
+            call = gather_statement(lines, row, m.end() - 1)
+            if not MEMORY_ORDER_RE.search(call):
+                findings.append(
+                    f"{rel}:{row + 1}: atomic .{m.group(1)}() without an "
+                    "explicit std::memory_order argument (seq_cst by default "
+                    "-- state the order you mean)"
+                )
+            if not has_adjacent_order_comment(lines, row):
+                findings.append(
+                    f"{rel}:{row + 1}: atomic .{m.group(1)}() without an "
+                    "adjacent `// order:` justification comment"
+                )
+
+
+def lint_hot_path_header(path: Path, rel: str, findings: list[str]) -> None:
+    for row, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        m = FORBIDDEN_INCLUDES.search(line)
+        if m:
+            findings.append(
+                f"{rel}:{row + 1}: hot-path header includes <{m.group(1)}> "
+                "(blocking primitives belong in src/engine/ or a .cpp)"
+            )
+
+
+def lint_pragma_once(path: Path, rel: str, findings: list[str]) -> None:
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped != "#pragma once":
+            findings.append(f"{rel}:1: header does not start with #pragma once")
+        return
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent)
+    args = ap.parse_args()
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"lint_invariants: no src/ under {args.root}", file=sys.stderr)
+        return 1
+
+    findings: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp") or not path.is_file():
+            continue
+        rel = path.relative_to(args.root).as_posix()
+        lint_atomics(path, rel, findings)
+        if path.suffix == ".hpp":
+            lint_pragma_once(path, rel, findings)
+            if path.parent.name in HOT_PATH_DIRS:
+                lint_hot_path_header(path, rel, findings)
+
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,15 @@ std::string_view to_string(OverflowPolicy p) noexcept {
   return "?";
 }
 
+std::string_view to_string(FsyncMode m) noexcept {
+  switch (m) {
+    case FsyncMode::kNone: return "none";
+    case FsyncMode::kPerRoll: return "per-roll";
+    case FsyncMode::kPerRecord: return "per-record";
+  }
+  return "?";
+}
+
 std::pair<LatticeMode, LatticeParams> lattice_config_of(const Hierarchy& h,
                                                         const MonitorConfig& cfg) {
   LatticeParams lp;

@@ -76,6 +76,18 @@ enum class OverflowPolicy : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(OverflowPolicy p) noexcept;
 
+/// How eagerly the segment writer pushes appended windows to stable
+/// storage. Every mode still fflush()es per record (a concurrent reader's
+/// scan path only ever sees completed frames); fsync is about what survives
+/// power loss, not about torn frames.
+enum class FsyncMode : std::uint8_t {
+  kNone,       ///< OS page cache only: fastest; a crash may lose recent windows
+  kPerRoll,    ///< fsync when a segment seals (roll/close): bounded loss window
+  kPerRecord,  ///< fsync after every appended window: maximum durability
+};
+
+[[nodiscard]] std::string_view to_string(FsyncMode m) noexcept;
+
 /// Durable window store settings (src/store/): where and how sealed windows
 /// are persisted. Used by the engine's background archiver (see
 /// EngineConfig::archive) and by WindowArchive::open_write directly. An
@@ -98,6 +110,9 @@ struct ArchiveConfig {
   /// the sealed window (counted in EngineStats::archive_queue_drops)
   /// rather than ever blocking a rotation on I/O.
   std::size_t queue_windows = 8;
+  /// Durability cadence for the segment writer (all I/O stays on the
+  /// archiver thread, so even kPerRecord never stalls a rotation).
+  FsyncMode fsync_mode = FsyncMode::kNone;
 
   [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };

@@ -32,6 +32,8 @@ void HhhEngine::Producer::flush() {
 void HhhEngine::Producer::flush_worker(std::uint32_t w) {
   auto& b = buf_[w];
   if (offered_local_ != 0) {
+    // order: relaxed -- monotonic counter; exact reads happen under quiesce
+    // (ctl_mu_ hand-off), approximate reads tolerate staleness.
     offered_.fetch_add(offered_local_, std::memory_order_relaxed);
     offered_local_ = 0;
   }
@@ -49,15 +51,22 @@ void HhhEngine::Producer::flush_worker(std::uint32_t w) {
     if (left == 0) break;
     // Lossless only while workers are consuming; a stopped engine turns
     // kBlock into drop-tail rather than spinning forever.
+    // order: acquire -- pairs with stop()'s acq_rel exchange of running_; a
+    // producer that observes the stop must not keep spinning on a ring whose
+    // consumer is being joined.
     if (eng_->cfg_.overflow == OverflowPolicy::kDropTail ||
         !eng_->running_.load(std::memory_order_acquire)) {
+      // order: relaxed -- drop counter; summed exactly under quiesce only.
       eng_->ring_dropped_[idx]->fetch_add(left, std::memory_order_relaxed);
       break;
     }
+    // order: relaxed -- backpressure-retry counter, diagnostic only.
     eng_->backpressure_[id_]->fetch_add(1, std::memory_order_relaxed);
     std::this_thread::yield();
   }
   if (pushed != 0) {
+    // order: relaxed -- push counter; the records themselves were published
+    // by the ring's release store, not by this statistic.
     eng_->ring_pushed_[idx]->fetch_add(pushed, std::memory_order_relaxed);
   }
   b.clear();
@@ -119,6 +128,8 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   for (std::uint32_t p = 0; p < cfg.producers; ++p) {
     producers_.push_back(std::unique_ptr<Producer>(new Producer(this, p)));
   }
+  // order: relaxed -- constructor runs single-threaded; the handoff to any
+  // thread happens-before via std::thread creation in start().
   win_started_ns_.store(
       std::chrono::steady_clock::now().time_since_epoch().count(),
       std::memory_order_relaxed);
@@ -141,6 +152,8 @@ void HhhEngine::start() {
   // snap_mu_ serializes all control ops (start/stop/snapshot/rotate) so a
   // no-quiesce snapshot can never overlap freshly spawned workers.
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  // order: relaxed -- running_ is only written under snap_mu_ (held here),
+  // so the flag cannot change between this check and the store below.
   if (running_.load(std::memory_order_relaxed)) return;
   if (cfg_.archive.enabled() && archive_ == nullptr) {
     // Opening the store can fail (bad directory, permissions): do it
@@ -149,11 +162,19 @@ void HhhEngine::start() {
     archive_ = std::make_unique<store::WindowArchive>(
         store::WindowArchive::open_write(cfg_.archive));
   }
+  // order: release -- pairs with the acquire loads in flush_worker() and
+  // worker_loop(): a thread that observes running_ == true also observes the
+  // archive_ initialization above (workers/producers are created by this
+  // thread, but producer handles may be polled from threads start() never
+  // spawned).
   running_.store(true, std::memory_order_release);
   for (std::uint32_t w = 0; w < workers(); ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
   }
   if (windowed()) {
+    // order: relaxed x3 -- budget bases and the generation token are read by
+    // the clock thread created two lines down; std::thread creation is the
+    // happens-before edge, not these atomics.
     win_started_ns_.store(
         std::chrono::steady_clock::now().time_since_epoch().count(),
         std::memory_order_relaxed);
@@ -164,6 +185,8 @@ void HhhEngine::start() {
   if (archive_ != nullptr) {
     win_started_wall_ns_ =
         std::chrono::system_clock::now().time_since_epoch().count();
+    // order: relaxed -- generation only changes under snap_mu_ (held here);
+    // the archiver thread inherits it by value at creation.
     const std::uint64_t agen = archive_gen_.load(std::memory_order_relaxed);
     archive_thread_ = std::thread(
         [this, arch = archive_.get(), agen] { archive_loop(arch, agen); });
@@ -172,7 +195,12 @@ void HhhEngine::start() {
 
 void HhhEngine::stop() {
   std::unique_lock<std::mutex> snap_lk(snap_mu_);
-  if (!running_.exchange(false)) return;
+  // order: acq_rel -- the release half publishes the flip to the acquire
+  // loads in flush_worker()/worker_loop() (spinning kBlock producers fall
+  // back to drop-tail, workers enter their shutdown drain); the acquire half
+  // pairs with start()'s release store so the losing racer of two stop()
+  // calls returns seeing a fully-started engine, never a half-built one.
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
     std::lock_guard<std::mutex> lk(ctl_mu_);
     ctl_cv_.notify_all();
@@ -194,6 +222,9 @@ void HhhEngine::stop() {
   // thread), but join OUTSIDE the lock: the clock may be blocked on
   // snap_mu_ for a rotation, and the stale generation token makes it exit
   // without rotating as soon as it gets through.
+  // order: release -- pairs with clock_loop()'s acquire load of clock_gen_;
+  // a clock that observes the new generation also observes running_ == false
+  // and every teardown write sequenced before this bump.
   clock_gen_.fetch_add(1, std::memory_order_release);
   std::thread clock = std::move(clock_thread_);
   // Retire the archiver the same way: generation bumped under arch_mu_ so
@@ -204,6 +235,8 @@ void HhhEngine::stop() {
   std::unique_ptr<store::WindowArchive> arch = std::move(archive_);
   {
     std::lock_guard<std::mutex> lk(arch_mu_);
+    // order: release -- pairs with the acquire load in archive_loop()'s wait
+    // predicate; bumped under arch_mu_ so the cv wait cannot miss it.
     archive_gen_.fetch_add(1, std::memory_order_release);
   }
   arch_cv_.notify_all();
@@ -227,6 +260,7 @@ void HhhEngine::stop() {
     try {
       arch->close();
     } catch (const std::exception&) {
+      // order: relaxed -- error counter; no payload rides on it.
       archive_errors_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -238,6 +272,9 @@ void HhhEngine::archive_loop(store::WindowArchive* arch, std::uint64_t gen) {
     {
       std::unique_lock<std::mutex> lk(arch_mu_);
       arch_cv_.wait(lk, [&] {
+        // order: acquire -- pairs with stop()'s release bump; observing the
+        // retirement must also observe the stopped state behind it (arch_mu_
+        // already orders the queue itself).
         return !archive_q_.empty() ||
                archive_gen_.load(std::memory_order_acquire) != gen;
       });
@@ -270,9 +307,12 @@ void HhhEngine::archive_one(store::WindowArchive* arch, const ArchiveItem& item)
     }
     if (item.meta.drops != 0) merged->advance_stream(item.meta.drops);
     arch->append(item.meta, cfg_.monitor.hierarchy, *merged);
+    // order: relaxed -- success counter; readers that need it consistent
+    // with the on-disk state reopen the store instead.
     archived_windows_.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::exception&) {
     // Window lost (disk full, I/O error); count loudly and keep going.
+    // order: relaxed -- error counter; no payload rides on it.
     archive_errors_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -288,6 +328,7 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
   {
     std::lock_guard<std::mutex> lk(arch_mu_);
     if (archive_q_.size() >= cfg_.archive.queue_windows) {
+      // order: relaxed -- drop counter; the queue itself is under arch_mu_.
       archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -298,6 +339,8 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
   // serializations -- the cross-shard merge and all I/O run on the
   // archiver thread -- and the queue hand-off below never blocks.
   ArchiveItem item;
+  // order: relaxed -- window_epochs_ is only advanced under snap_mu_, which
+  // the rotation calling us holds; the value is stable here.
   item.meta.epoch = window_epochs_.load(std::memory_order_relaxed);
   item.meta.wall_start_ns = wall_start_ns;
   item.meta.wall_end_ns = wall_end_ns;
@@ -323,6 +366,7 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
   {
     std::lock_guard<std::mutex> lk(arch_mu_);
     if (archive_q_.size() >= cfg_.archive.queue_windows) {
+      // order: relaxed -- drop counter (same as the pre-check above).
       archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -339,9 +383,11 @@ std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
     const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
     if (n == 0) continue;
     for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+    // order: relaxed -- pop counter; record visibility came from the ring.
     ring_popped_[p * workers_.size() + w]->fetch_add(n, std::memory_order_relaxed);
     total += n;
   }
+  // order: relaxed -- consumed counter; exact only under quiesce.
   if (total != 0) ws.consumed.fetch_add(total, std::memory_order_relaxed);
   return total;
 }
@@ -352,6 +398,10 @@ void HhhEngine::worker_loop(std::uint32_t w) {
   std::uint64_t acked = 0;
   for (;;) {
     const std::size_t got = drain_pass(w, batch);
+    // order: acquire -- pairs with quiesced()'s release store: a worker that
+    // sees the new epoch also sees every coordinator write sequenced before
+    // the request (nothing rides on it today, but the boundary must not be
+    // weaker than the request that created it).
     const std::uint64_t e = epoch_req_.load(std::memory_order_acquire);
     if (e > acked) {
       // Epoch boundary: consume exactly the backlog visible in each ring at
@@ -370,11 +420,13 @@ void HhhEngine::worker_loop(std::uint32_t w) {
               r.try_pop_n(batch.data(), std::min(batch.size(), left));
           if (n == 0) break;
           for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+          // order: relaxed -- consumed counter (see drain_pass).
           ws.consumed.fetch_add(n, std::memory_order_relaxed);
           popped += n;
           left -= n;
         }
         if (popped != 0) {
+          // order: relaxed -- pop counter (see drain_pass).
           ring_popped_[p * workers_.size() + w]->fetch_add(
               popped, std::memory_order_relaxed);
         }
@@ -384,12 +436,18 @@ void HhhEngine::worker_loop(std::uint32_t w) {
       acked = e;
       ctl_cv_.notify_all();
       ctl_cv_.wait(lk, [&] {
+        // order: relaxed x2 -- both flags are checked under ctl_mu_, and
+        // their writers (quiesced() resume, stop()) notify under the same
+        // mutex: the lock is the happens-before edge, not the atomics.
         return epoch_resume_.load(std::memory_order_relaxed) >= e ||
                !running_.load(std::memory_order_relaxed);
       });
       continue;
     }
     if (got == 0) {
+      // order: acquire -- pairs with stop()'s acq_rel exchange; observing
+      // the stop must also observe any record a producer pushed before it
+      // observed the stop (the final drain below must not miss them).
       if (!running_.load(std::memory_order_acquire)) {
         // Shutdown: consume everything still in flight, then exit.
         while (drain_pass(w, batch) != 0) {
@@ -409,6 +467,9 @@ void HhhEngine::clock_loop(std::uint64_t gen) {
   // retired by stop(), possibly with a successor already running) exits
   // without touching anything.
   const auto due_now = [&] {
+    // order: relaxed (both bases) -- lock-free budget metering tolerates a
+    // stale base: a spuriously "due" clock re-checks under snap_mu_ before
+    // rotating, and a spuriously "not due" one retries 200us later.
     if (cfg_.epoch_packets > 0 &&
         processed_total() - win_processed_base_.load(std::memory_order_relaxed) >=
             cfg_.epoch_packets) {
@@ -417,6 +478,7 @@ void HhhEngine::clock_loop(std::uint64_t gen) {
     if (cfg_.epoch_millis > 0) {
       const std::int64_t now_ns =
           std::chrono::steady_clock::now().time_since_epoch().count();
+      // order: relaxed -- same stale-tolerant budget metering as above.
       if (now_ns - win_started_ns_.load(std::memory_order_relaxed) >=
           static_cast<std::int64_t>(cfg_.epoch_millis) * 1'000'000) {
         return true;
@@ -424,11 +486,16 @@ void HhhEngine::clock_loop(std::uint64_t gen) {
     }
     return false;
   };
+  // order: acquire x2 -- pair with stop()'s release bump of clock_gen_ and
+  // acq_rel flip of running_: a retired/stopped clock must also observe the
+  // teardown that retired it before touching anything.
   while (clock_gen_.load(std::memory_order_acquire) == gen &&
          running_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
     if (!due_now()) continue;
     std::lock_guard<std::mutex> lk(snap_mu_);
+    // order: acquire x2 -- re-check under snap_mu_; stop() may have retired
+    // this generation while we slept or waited for the lock.
     if (clock_gen_.load(std::memory_order_acquire) != gen ||
         !running_.load(std::memory_order_acquire)) {
       break;
@@ -440,6 +507,9 @@ void HhhEngine::clock_loop(std::uint64_t gen) {
 }
 
 std::uint64_t HhhEngine::processed_total() const {
+  // order: relaxed x2 -- monotonic counters summed for budget metering and
+  // stats; each is individually consistent, the sum is approximate unless
+  // the workers are quiesced (then ctl_mu_ provides the happens-before).
   std::uint64_t n = 0;
   for (const auto& ws : workers_) n += ws->consumed.load(std::memory_order_relaxed);
   for (const auto& d : ring_dropped_) n += d->load(std::memory_order_relaxed);
@@ -447,9 +517,13 @@ std::uint64_t HhhEngine::processed_total() const {
 }
 
 EngineStats HhhEngine::collect_stats() const {
+  // order: relaxed (every counter below) -- stats() documents these as
+  // individually-consistent live counters; exactness comes only from calling
+  // under quiesce, where the ctl_mu_ hand-off orders the workers' writes.
   EngineStats s;
   s.per_worker_consumed.reserve(workers_.size());
   for (const auto& ws : workers_) {
+    // order: relaxed -- per-worker consumed counter (see header comment).
     const std::uint64_t c = ws->consumed.load(std::memory_order_relaxed);
     s.per_worker_consumed.push_back(c);
     s.consumed += c;
@@ -458,20 +532,26 @@ EngineStats HhhEngine::collect_stats() const {
   s.per_ring_pushed.reserve(rings_.size());
   s.per_ring_popped.reserve(rings_.size());
   for (const auto& d : ring_dropped_) {
+    // order: relaxed -- per-ring drop counter.
     const std::uint64_t n = d->load(std::memory_order_relaxed);
     s.per_ring_dropped.push_back(n);
     s.dropped += n;
   }
   for (const auto& p : ring_pushed_) {
+    // order: relaxed -- per-ring push counter.
     s.per_ring_pushed.push_back(p->load(std::memory_order_relaxed));
   }
   for (const auto& p : ring_popped_) {
+    // order: relaxed -- per-ring pop counter.
     s.per_ring_popped.push_back(p->load(std::memory_order_relaxed));
   }
   for (const auto& p : producers_) s.offered += p->offered();
   for (const auto& b : backpressure_) {
+    // order: relaxed -- backpressure-retry counter.
     s.backpressure_waits += b->load(std::memory_order_relaxed);
   }
+  // order: relaxed x6 -- scalar counters; the archive trio is written by the
+  // archiver thread and only consistent with the on-disk state after stop().
   s.epochs = epoch_req_.load(std::memory_order_relaxed);
   s.window_epochs = window_epochs_.load(std::memory_order_relaxed);
   s.archived_windows = archived_windows_.load(std::memory_order_relaxed);
@@ -485,11 +565,18 @@ EngineStats HhhEngine::stats() const { return collect_stats(); }
 
 template <class Fn>
 std::uint64_t HhhEngine::quiesced(Fn&& fn) {
+  // order: relaxed -- epoch_req_ is only advanced under snap_mu_ (held by
+  // every caller), so this read-modify-write cannot race another request.
   const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed) + 1;
   // running_ cannot flip underneath us: start()/stop() take snap_mu_, which
   // the caller holds.
+  // order: acquire -- pairs with start()'s release store; a live engine's
+  // worker state is fully visible before we signal its workers.
   const bool live = running_.load(std::memory_order_acquire);
   if (live) {
+    // order: release -- pairs with the workers' acquire load in
+    // worker_loop(): the boundary request publishes everything sequenced
+    // before it alongside the new epoch number.
     epoch_req_.store(e, std::memory_order_release);
     std::unique_lock<std::mutex> lk(ctl_mu_);
     ctl_cv_.wait(lk, [&] {
@@ -502,6 +589,8 @@ std::uint64_t HhhEngine::quiesced(Fn&& fn) {
     // resume mark still has to advance with the request, or workers started
     // later would park at this epoch's boundary waiting for a resume that
     // already happened.
+    // order: relaxed x2 -- no workers exist to synchronize with; a later
+    // start() publishes these via thread creation.
     epoch_req_.store(e, std::memory_order_relaxed);
     epoch_resume_.store(e, std::memory_order_relaxed);
   }
@@ -509,6 +598,8 @@ std::uint64_t HhhEngine::quiesced(Fn&& fn) {
   if (live) {
     // Workers park inside ctl_cv_.wait, so everything fn() did to the shard
     // lattices happens-before their wakeup via this mutex hand-off.
+    // order: relaxed -- written and read under ctl_mu_; the mutex is the
+    // happens-before edge, not the atomic.
     std::lock_guard<std::mutex> lk(ctl_mu_);
     epoch_resume_.store(e, std::memory_order_relaxed);
     ctl_cv_.notify_all();
@@ -521,6 +612,7 @@ EngineSnapshot HhhEngine::snapshot() {
   std::unique_ptr<RhhhSpaceSaving> merged;
   EngineStats s;
   const std::uint64_t e = quiesced([&] {
+    // order: relaxed -- epoch_req_ only changes under snap_mu_ (held).
     merged = make_shard_lattice(0x6e7a9000ULL ^
                                 epoch_req_.load(std::memory_order_relaxed));
     for (const auto& ws : workers_) merged->merge(ws->ring.live());
@@ -542,6 +634,8 @@ void HhhEngine::rotate_locked() {
   quiesced([&] {
     for (auto& ws : workers_) ws->ring.rotate();
     std::uint64_t d = 0;
+    // order: relaxed -- workers are parked (quiesced), so the drop counters
+    // are stable; the ctl_mu_ hand-off already ordered their last writes.
     for (const auto& dr : ring_dropped_) d += dr->load(std::memory_order_relaxed);
     // Drops since the last boundary happened while the just-sealed window
     // was live: attribute them to it. The per-window drop ring ages in
@@ -552,6 +646,9 @@ void HhhEngine::rotate_locked() {
     sealed_drops_.insert(sealed_drops_.begin(), sealed_drop);
     sealed_drops_.resize(cfg_.history_depth);
     win_drops_base_ = d;
+    // order: relaxed (bases) -- reset the clock thread's budget bases; its
+    // metering reads are relaxed and tolerate seeing old/new mid-rotation
+    // (it re-checks under snap_mu_ before acting).
     win_processed_base_.store(processed_total(), std::memory_order_relaxed);
     const std::int64_t now_ns =
         std::chrono::steady_clock::now().time_since_epoch().count();
@@ -560,12 +657,16 @@ void HhhEngine::rotate_locked() {
         now_ns > started ? static_cast<std::uint64_t>(now_ns - started) : 0;
     sealed_durations_ns_.insert(sealed_durations_ns_.begin(), duration_ns);
     sealed_durations_ns_.resize(cfg_.history_depth);
+    // order: relaxed -- same budget-base contract as above.
     win_started_ns_.store(now_ns, std::memory_order_relaxed);
   });
   win_started_wall_ns_ = wall_end_ns;
   // The sealed-window set changed: cached trend merges are stale.
   trend_cache_.clear();
   trend_cache_epoch_ = ~std::uint64_t{0};
+  // order: release -- pairs with window_epochs()'s acquire load: a poller
+  // that observes rotation N also observes the sealed drop/duration rings
+  // written above.
   window_epochs_.fetch_add(1, std::memory_order_release);
   // Archiving runs after the workers resumed: the merge + queue hand-off
   // cost control-plane time only, and never touch the disk (the archiver
@@ -588,8 +689,10 @@ WindowedEngineSnapshot HhhEngine::window_snapshot() {
   std::uint64_t cur_drops = 0;
   std::uint64_t prev_drops = 0;
   // Rotations hold snap_mu_ too, so the window count is stable here.
+  // order: relaxed -- stable under snap_mu_ (held).
   const std::uint64_t we = window_epochs_.load(std::memory_order_relaxed);
   quiesced([&] {
+    // order: relaxed -- epoch_req_ only changes under snap_mu_ (held).
     const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
     cur = make_shard_lattice(0x6e7a9000ULL ^ e);
     for (const auto& ws : workers_) cur->merge(ws->ring.live());
@@ -613,8 +716,10 @@ TrendSnapshot HhhEngine::trend_snapshot() {
   EngineStats s;
   std::uint64_t cur_drops = 0;
   // Rotations hold snap_mu_ too, so the window count is stable here.
+  // order: relaxed -- stable under snap_mu_ (held).
   const std::uint64_t we = window_epochs_.load(std::memory_order_relaxed);
   quiesced([&] {
+    // order: relaxed -- epoch_req_ only changes under snap_mu_ (held).
     const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
     cur = make_shard_lattice(0x6e7a9000ULL ^ e);
     for (const auto& ws : workers_) cur->merge(ws->ring.live());
@@ -629,6 +734,7 @@ TrendSnapshot HhhEngine::trend_snapshot() {
   // detection loop polling between rotations pays the live merge only.
   const std::size_t m = workers_[0]->ring.sealed_count();
   if (trend_cache_epoch_ != we) {
+    // order: relaxed -- epoch_req_ only changes under snap_mu_ (held).
     const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed);
     trend_cache_.clear();
     trend_cache_.reserve(m);
@@ -642,6 +748,7 @@ TrendSnapshot HhhEngine::trend_snapshot() {
     }
     trend_cache_epoch_ = we;
   } else {
+    // order: relaxed -- cache-hit counter, diagnostic only.
     trend_cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   std::vector<std::shared_ptr<const RhhhSpaceSaving>> sealed = trend_cache_;
@@ -653,6 +760,7 @@ TrendSnapshot HhhEngine::trend_snapshot() {
       sealed_durations_ns_.begin() + static_cast<std::ptrdiff_t>(m));
   const std::int64_t now_ns =
       std::chrono::steady_clock::now().time_since_epoch().count();
+  // order: relaxed -- written only under snap_mu_ (held), so stable here.
   const std::int64_t started = win_started_ns_.load(std::memory_order_relaxed);
   const std::uint64_t cur_dur =
       now_ns > started ? static_cast<std::uint64_t>(now_ns - started) : 0;

@@ -126,6 +126,9 @@ class HhhEngine {
     /// batch flush (so it may trail ingest() by up to one batch until
     /// flush() is called); safe to read from any thread.
     [[nodiscard]] std::uint64_t offered() const noexcept {
+      // order: relaxed -- monotonic counter; cross-thread reads want a recent
+      // value, not ordering against other memory. Exact totals come from
+      // stats() under quiesce, where ctl_mu_ provides the happens-before.
       return offered_.load(std::memory_order_relaxed);
     }
 
@@ -202,11 +205,16 @@ class HhhEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
   /// Quiesce generations so far (snapshots + rotations + window snapshots).
   [[nodiscard]] std::uint64_t epochs() const noexcept {
+    // order: relaxed -- monotonic counter read for display/tests; no payload
+    // is synchronized through it.
     return epoch_req_.load(std::memory_order_relaxed);
   }
   /// Completed window rotations so far. Safe to poll from any thread (the
   /// detection loops of the demo/bench watch this for new sealed windows).
   [[nodiscard]] std::uint64_t window_epochs() const noexcept {
+    // order: acquire -- pairs with rotate_locked()'s release fetch_add so a
+    // poller that observes rotation N also observes every write the rotation
+    // published before bumping the count (sealed drop/duration rings).
     return window_epochs_.load(std::memory_order_acquire);
   }
   /// True when a coordinator clock (packet or wall) is configured.

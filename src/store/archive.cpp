@@ -1,11 +1,15 @@
 #include "store/archive.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <random>
 #include <stdexcept>
+
+#include "util/bits.hpp"
 
 namespace rhhh::store {
 
@@ -34,12 +38,27 @@ std::uint64_t segment_number(const fs::path& p) {
   return std::strtoull(stem.c_str(), nullptr, 10);
 }
 
+/// A fresh archiver-run identity: random_device entropy folded with the
+/// wall clock through mix64, so two runs get distinct ids even on platforms
+/// where random_device is deterministic. Never returns 0 (0 = "unknown",
+/// the v1 placeholder).
+std::uint64_t draw_run_id() {
+  std::random_device rd;
+  const std::uint64_t entropy =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  const std::uint64_t id = mix64(entropy ^ mix64(now));
+  return id != 0 ? id : 1;
+}
+
 }  // namespace
 
 WindowArchive::WindowArchive(ArchiveConfig cfg, bool writable)
     : cfg_(std::move(cfg)), writable_(writable) {
   if (cfg_.dir.empty()) fail("archive directory must not be empty");
   if (writable_) {
+    run_id_ = draw_run_id();
     std::error_code ec;
     fs::create_directories(cfg_.dir, ec);
     if (ec) fail(cfg_.dir + ": cannot create store directory");
@@ -80,6 +99,7 @@ void WindowArchive::load_catalog() {
     truncated_ = truncated_ || reader.truncated_tail() || !reader.sealed();
     const std::size_t seg = seg_paths_.size();
     seg_paths_.push_back(path.string());
+    seg_run_ids_.push_back(reader.run_id());
     std::error_code ec;
     const std::uintmax_t bytes = fs::file_size(path, ec);
     seg_bytes_.push_back(ec ? 0 : static_cast<std::uint64_t>(bytes));
@@ -143,6 +163,7 @@ void WindowArchive::roll_if_due(std::int64_t next_wall_start_ns,
   if (!roll) return;
   writer_->seal();
   seg_bytes_.back() = writer_->bytes_written();
+  fsyncs_sealed_ += writer_->fsyncs();
   writer_.reset();
   if (cfg_.retain_bytes > 0) apply_retention(cfg_.retain_bytes);
 }
@@ -156,8 +177,9 @@ void WindowArchive::append(const WindowMeta& meta, HierarchyKind kind,
   if (writer_ == nullptr) {
     const std::string path =
         (fs::path(cfg_.dir) / segment_name(next_seg_no_++)).string();
-    writer_ = std::make_unique<SegmentWriter>(path);
+    writer_ = std::make_unique<SegmentWriter>(path, cfg_.fsync_mode, run_id_);
     seg_paths_.push_back(path);
+    seg_run_ids_.push_back(run_id_);
     seg_bytes_.push_back(writer_->bytes_written());
   }
   const SegmentIndexEntry rec =
@@ -169,8 +191,13 @@ void WindowArchive::close() {
   if (writer_ == nullptr) return;
   writer_->seal();
   seg_bytes_.back() = writer_->bytes_written();
+  fsyncs_sealed_ += writer_->fsyncs();
   writer_.reset();
   if (cfg_.retain_bytes > 0) apply_retention(cfg_.retain_bytes);
+}
+
+std::uint64_t WindowArchive::fsyncs() const noexcept {
+  return fsyncs_sealed_ + (writer_ != nullptr ? writer_->fsyncs() : 0);
 }
 
 void WindowArchive::apply_retention(std::uint64_t retain_bytes) {
@@ -183,6 +210,7 @@ void WindowArchive::apply_retention(std::uint64_t retain_bytes) {
     if (ec) fail(victim + ": cannot delete during retention");
     seg_paths_.erase(seg_paths_.begin());
     seg_bytes_.erase(seg_bytes_.begin());
+    seg_run_ids_.erase(seg_run_ids_.begin());
     std::erase_if(catalog_, [](const Entry& e) { return e.seg == 0; });
     for (Entry& e : catalog_) --e.seg;
   }
@@ -290,7 +318,9 @@ std::size_t WindowArchive::compact(std::uint64_t retain_bytes) {
     if (reader.sealed()) continue;
     const std::string tmp = seg_paths_[s] + ".tmp";
     {
-      SegmentWriter rw(tmp);
+      // The rewrite keeps the original segment's run id: compaction repairs
+      // the file, it does not re-author the data.
+      SegmentWriter rw(tmp, cfg_.fsync_mode, reader.run_id());
       for (std::size_t i = 0; i < reader.records(); ++i) {
         const SegmentIndexEntry& rec = reader.index()[i];
         rw.append(reader.read(i), rec.epoch, rec.wall_start_ns, rec.wall_end_ns);

@@ -87,6 +87,18 @@ class WindowArchive {
   [[nodiscard]] const std::string& dir() const noexcept { return cfg_.dir; }
   /// Full metadata of every window, oldest first (decodes record headers).
   [[nodiscard]] std::vector<WindowMeta> list() const;
+  /// This writer's archiver-run identity: a random 64-bit id drawn at
+  /// open_write() and stamped into every segment header it creates, so
+  /// post-hoc analysis can tell which process run produced which segments.
+  /// 0 on read-only archives.
+  [[nodiscard]] std::uint64_t run_id() const noexcept { return run_id_; }
+  /// The run id recorded in segment `s`'s header (0 for v1 segments).
+  [[nodiscard]] std::uint64_t segment_run_id(std::size_t s) const {
+    return seg_run_ids_.at(s);
+  }
+  /// fsync() calls issued across all segments written by this instance
+  /// (0 under FsyncMode::kNone; the cadence knob's observable effect).
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept;
 
   // -- queries --------------------------------------------------------------
   /// Window `i` in append order (0 = oldest).
@@ -149,8 +161,11 @@ class WindowArchive {
   ArchiveConfig cfg_;
   bool writable_ = false;
   bool truncated_ = false;
+  std::uint64_t run_id_ = 0;             ///< this writer's identity; 0 read-only
+  std::uint64_t fsyncs_sealed_ = 0;      ///< fsyncs of already-sealed segments
   std::vector<std::string> seg_paths_;   ///< sorted, oldest first
   std::vector<std::uint64_t> seg_bytes_; ///< parallel to seg_paths_
+  std::vector<std::uint64_t> seg_run_ids_;  ///< parallel to seg_paths_
   std::vector<Entry> catalog_;           ///< append order, oldest first
   std::unique_ptr<Hierarchy> hierarchy_;
   HierarchyKind kind_ = HierarchyKind::kIpv4TwoDimBytes;

@@ -6,6 +6,10 @@
 #include <memory>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace rhhh::store {
 
 namespace {
@@ -15,8 +19,14 @@ namespace {
 constexpr std::uint32_t kSegmentMagic = 0x53484852u;  // 'R','H','H','S'
 constexpr std::uint32_t kRecordMagic = 0x43455257u;   // 'W','R','E','C'
 constexpr std::uint32_t kFooterMagic = 0x46484852u;   // 'R','H','H','F'
-constexpr std::uint32_t kSegmentFormatVersion = 1;
-constexpr std::size_t kSegmentHeaderBytes = 16;  // magic, version, hdr len, flags
+// v1: magic, version, header len, flags (16 bytes).
+// v2 appends the archiver run id (u64) -> 24 bytes. The self-declared
+// header length lets a v2 reader skip past headers it has never seen, and
+// lets this reader accept v1 files (run id reported as 0).
+constexpr std::uint32_t kSegmentFormatVersion = 2;
+constexpr std::uint32_t kMinSegmentFormatVersion = 1;
+constexpr std::size_t kSegmentHeaderBytesV1 = 16;
+constexpr std::size_t kSegmentHeaderBytes = 24;  // v2: v1 fields + run id
 constexpr std::size_t kRecordFrameBytes = 12;    // magic, payload len, payload crc
 constexpr std::size_t kTrailerBytes = 20;  // index offset u64, len u32, crc u32, magic
 
@@ -90,7 +100,9 @@ Bytes read_record_at(const std::string& path, std::uint64_t offset,
 
 // ---------------------------------------------------------- SegmentWriter --
 
-SegmentWriter::SegmentWriter(std::string path) : path_(std::move(path)) {
+SegmentWriter::SegmentWriter(std::string path, FsyncMode fsync,
+                             std::uint64_t run_id)
+    : path_(std::move(path)), fsync_(fsync), run_id_(run_id) {
   f_ = std::fopen(path_.c_str(), "wb");
   if (f_ == nullptr) fail(path_, "cannot create segment");
   ByteWriter h;
@@ -98,9 +110,19 @@ SegmentWriter::SegmentWriter(std::string path) : path_(std::move(path)) {
   h.u32(kSegmentFormatVersion);
   h.u32(static_cast<std::uint32_t>(kSegmentHeaderBytes));
   h.u32(0);  // flags
+  h.u64(run_id_);
   write_all(f_, path_, h.bytes().data(), h.size());
   bytes_ = h.size();
   if (std::fflush(f_) != 0) fail(path_, "flush failed");
+}
+
+void SegmentWriter::sync_now() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(fileno(f_)) != 0) fail(path_, "fsync failed");
+  ++fsyncs_;
+#endif
+  // No fsync equivalent wired up elsewhere: the mode degrades to the
+  // per-record fflush the writer always performs.
 }
 
 SegmentWriter::~SegmentWriter() {
@@ -130,6 +152,7 @@ SegmentIndexEntry SegmentWriter::append(const Bytes& payload, std::uint64_t epoc
   // Per-record flush: a crash loses at most the record being written, and
   // the scan path of a concurrent reader sees only completed frames.
   if (std::fflush(f_) != 0) fail(path_, "flush failed");
+  if (fsync_ == FsyncMode::kPerRecord) sync_now();
   bytes_ += frame.size() + payload.size();
   index_.push_back(e);
   return e;
@@ -154,7 +177,16 @@ void SegmentWriter::seal() {
   write_all(f_, path_, idx.bytes().data(), idx.size());
   write_all(f_, path_, trailer.bytes().data(), trailer.size());
   bytes_ += idx.size() + trailer.size();
-  const bool ok = std::fflush(f_) == 0;
+  bool ok = std::fflush(f_) == 0;
+  if (ok && fsync_ != FsyncMode::kNone) {
+    // Both per-roll and per-record sync the footer: a sealed segment that
+    // survives a crash must survive with its index.
+    try {
+      sync_now();
+    } catch (const std::runtime_error&) {
+      ok = false;
+    }
+  }
   std::fclose(f_);
   f_ = nullptr;
   if (!ok) fail(path_, "flush failed while sealing");
@@ -168,20 +200,32 @@ SegmentReader::SegmentReader(std::string path) : path_(std::move(path)) {
   if (ec) fail(path_, "cannot stat segment");
   FilePtr f = open_read(path_);
 
-  std::uint8_t hdr[kSegmentHeaderBytes];
-  if (fsize < kSegmentHeaderBytes ||
+  // Read the fixed v1 prefix first; its self-declared header length then
+  // locates any newer fields (v2's run id) and the first record.
+  std::uint8_t hdr[kSegmentHeaderBytesV1];
+  if (fsize < kSegmentHeaderBytesV1 ||
       !read_exact_at(f.get(), 0, hdr, sizeof hdr)) {
     fail(path_, "not a segment (short header)");
   }
   ByteReader hr(hdr, sizeof hdr);
   if (hr.u32() != kSegmentMagic) fail(path_, "not a segment (bad magic)");
-  const std::uint32_t version = hr.u32();
-  if (version != kSegmentFormatVersion) {
-    fail(path_, "unsupported segment format version " + std::to_string(version));
+  version_ = hr.u32();
+  if (version_ < kMinSegmentFormatVersion || version_ > kSegmentFormatVersion) {
+    fail(path_, "unsupported segment format version " + std::to_string(version_));
   }
   const std::uint32_t header_bytes = hr.u32();
-  if (header_bytes < kSegmentHeaderBytes || header_bytes > fsize) {
+  const std::size_t min_header =
+      version_ >= 2 ? kSegmentHeaderBytes : kSegmentHeaderBytesV1;
+  if (header_bytes < min_header || header_bytes > fsize) {
     fail(path_, "implausible segment header length");
+  }
+  if (version_ >= 2) {
+    std::uint8_t ext[8];
+    if (!read_exact_at(f.get(), kSegmentHeaderBytesV1, ext, sizeof ext)) {
+      fail(path_, "short v2 segment header");
+    }
+    ByteReader er(ext, sizeof ext);
+    run_id_ = er.u64();
   }
 
   // Sealed path: a valid trailer at EOF addresses every record directly.

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/monitor.hpp"
 #include "store/serde.hpp"
 
 namespace rhhh::store {
@@ -51,9 +52,14 @@ struct SegmentIndexEntry {
 /// is sealed); seal() writes the footer and closes.
 class SegmentWriter {
  public:
-  /// Creates `path` (truncating any leftover) and writes the header.
+  /// Creates `path` (truncating any leftover) and writes the header
+  /// (format v2: carries `run_id`, the random 64-bit identity of the
+  /// archiver run that produced this segment -- 0 when unknown, e.g. a
+  /// compaction rewrite of a v1 segment). `fsync` sets the durability
+  /// cadence; every mode still fflush()es per record.
   /// Throws std::runtime_error when the file cannot be created.
-  explicit SegmentWriter(std::string path);
+  explicit SegmentWriter(std::string path, FsyncMode fsync = FsyncMode::kNone,
+                         std::uint64_t run_id = 0);
   ~SegmentWriter();
 
   SegmentWriter(const SegmentWriter&) = delete;
@@ -74,6 +80,11 @@ class SegmentWriter {
   [[nodiscard]] const std::vector<SegmentIndexEntry>& index() const noexcept {
     return index_;
   }
+  /// The archiver-run identity stamped into this segment's header.
+  [[nodiscard]] std::uint64_t run_id() const noexcept { return run_id_; }
+  /// fsync() calls issued so far (0 under FsyncMode::kNone; the cadence
+  /// knob's observable effect).
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept { return fsyncs_; }
 
   /// Writes the footer index + trailer and closes the file. Idempotent;
   /// also run by the destructor (which swallows errors -- call seal()
@@ -81,10 +92,15 @@ class SegmentWriter {
   void seal();
 
  private:
+  void sync_now();
+
   std::string path_;
   std::FILE* f_ = nullptr;
   std::uint64_t bytes_ = 0;
   std::vector<SegmentIndexEntry> index_;
+  FsyncMode fsync_ = FsyncMode::kNone;
+  std::uint64_t run_id_ = 0;
+  std::uint64_t fsyncs_ = 0;
 };
 
 /// Opens a segment for reading: through the footer when sealed, by forward
@@ -96,6 +112,11 @@ class SegmentReader {
 
   /// True when a valid footer was found (cleanly closed segment).
   [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// Segment format version found in the header (1 = pre-run-id).
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  /// The archiver-run identity from the header; 0 for v1 segments (which
+  /// predate the field) and for compaction rewrites of them.
+  [[nodiscard]] std::uint64_t run_id() const noexcept { return run_id_; }
   /// True when an unsealed scan stopped at a torn/corrupt frame (records
   /// before it are still served).
   [[nodiscard]] bool truncated_tail() const noexcept { return truncated_; }
@@ -113,6 +134,8 @@ class SegmentReader {
   std::string path_;
   bool sealed_ = false;
   bool truncated_ = false;
+  std::uint32_t version_ = 0;
+  std::uint64_t run_id_ = 0;
   std::vector<SegmentIndexEntry> index_;
 };
 

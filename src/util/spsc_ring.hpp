@@ -44,25 +44,39 @@ class SpscRing {
 
   /// Producer side. Returns false (drops) when the ring is full.
   bool try_push(const T& v) noexcept {
+    // order: relaxed -- tail_ is producer-owned; only this thread writes it,
+    // so its own last store is always visible without synchronization.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t next = (tail + 1) & mask_;
     if (next == head_cache_) {
+      // order: acquire -- pairs with the consumer's release store of head_;
+      // guarantees the consumer has finished reading buf_[head] before the
+      // producer may overwrite that slot.
       head_cache_ = head_.load(std::memory_order_acquire);
       if (next == head_cache_) return false;
     }
     buf_[tail] = v;
+    // order: release -- publishes buf_[tail]; pairs with the consumer's
+    // acquire load of tail_, which must observe the record, not the slot's
+    // stale bytes.
     tail_.store(next, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Returns false when the ring is empty.
   bool try_pop(T& out) noexcept {
+    // order: relaxed -- head_ is consumer-owned; only this thread writes it.
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
+      // order: acquire -- pairs with the producer's release store of tail_;
+      // makes the published record in buf_[head] visible before we read it.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
     out = buf_[head];
+    // order: release -- returns the slot to the producer; pairs with the
+    // producer's acquire load of head_ so our read of buf_[head] completes
+    // before the slot can be overwritten.
     head_.store((head + 1) & mask_, std::memory_order_release);
     return true;
   }
@@ -72,15 +86,20 @@ class SpscRing {
   /// rejects). The opposing index is reloaded at most once per call, and the
   /// accepted records become visible with one release store.
   std::size_t try_push_n(const T* v, std::size_t n) noexcept {
+    // order: relaxed -- tail_ is producer-owned (same as try_push).
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t free = mask_ - ((tail - head_cache_) & mask_);
     if (free < n) {  // apparent shortfall: refresh the cached consumer index
+      // order: acquire -- pairs with the consumer's release of head_; the
+      // freed slots must be fully read before this batch overwrites them.
       head_cache_ = head_.load(std::memory_order_acquire);
       free = mask_ - ((tail - head_cache_) & mask_);
       if (free == 0) return 0;
     }
     const std::size_t cnt = std::min(n, free);
     for (std::size_t i = 0; i < cnt; ++i) buf_[(tail + i) & mask_] = v[i];
+    // order: release -- one publish for the whole batch; pairs with the
+    // consumer's acquire load of tail_.
     tail_.store((tail + cnt) & mask_, std::memory_order_release);
     return cnt;
   }
@@ -90,21 +109,29 @@ class SpscRing {
   /// empty (unlike push, a partial batch costs the consumer nothing), and
   /// consumption is published with one release store.
   std::size_t try_pop_n(T* out, std::size_t max) noexcept {
+    // order: relaxed -- head_ is consumer-owned (same as try_pop).
     const std::size_t head = head_.load(std::memory_order_relaxed);
     std::size_t avail = (tail_cache_ - head) & mask_;
     if (avail == 0) {
+      // order: acquire -- pairs with the producer's release of tail_; every
+      // record in the batch is visible before the copy loop reads it.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       avail = (tail_cache_ - head) & mask_;
       if (avail == 0) return 0;
     }
     const std::size_t cnt = std::min(max, avail);
     for (std::size_t i = 0; i < cnt; ++i) out[i] = buf_[(head + i) & mask_];
+    // order: release -- one publish returns the whole batch of slots; pairs
+    // with the producer's acquire load of head_.
     head_.store((head + cnt) & mask_, std::memory_order_release);
     return cnt;
   }
 
   /// Approximate number of queued records (exact only when quiescent).
   [[nodiscard]] std::size_t size_approx() const noexcept {
+    // order: acquire x2 -- callable from any thread; acquire keeps each index
+    // no staler than the matching release store, though the pair is still a
+    // non-atomic snapshot (hence "approx").
     const std::size_t h = head_.load(std::memory_order_acquire);
     const std::size_t t = tail_.load(std::memory_order_acquire);
     return (t - h) & mask_;

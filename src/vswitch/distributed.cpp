@@ -15,14 +15,23 @@ DistributedMeasurement::DistributedMeasurement(const Hierarchy& h,
 DistributedMeasurement::~DistributedMeasurement() { stop(); }
 
 void DistributedMeasurement::start() {
-  if (running_.exchange(true)) return;
+  // order: acq_rel -- the winner of a start/start race proceeds to spawn;
+  // release publishes construction to any thread polling running_, acquire
+  // keeps a restart from being reordered before a previous stop()'s join.
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
   consumer_ = std::thread([this] { consume(); });
 }
 
 void DistributedMeasurement::stop() {
-  if (!running_.exchange(false)) return;
+  // order: acq_rel -- release publishes the flip to the consumer's acquire
+  // load (it exits after one final drain); acquire pairs with start()'s
+  // release so the winning stop() observes the spawned thread it joins.
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   if (consumer_.joinable()) consumer_.join();
   // The consumer drained the ring on exit; fold the full stream length in.
+  // order: relaxed -- the caller quiesces the datapath before stop() (the
+  // hook contract), so offered_ is final; the join above ordered the
+  // consumer's writes, and this read has no payload of its own.
   rhhh_.advance_stream(offered_.load(std::memory_order_relaxed));
 }
 
@@ -38,12 +47,16 @@ void DistributedMeasurement::consume() {
       for (std::size_t i = 0; i < n; ++i) {
         rhhh_.ingest_sampled(batch[i].level, batch[i].key);
       }
+      // order: relaxed -- forwarded counter; sample visibility came from
+      // the ring's acquire/release pair, not this statistic.
       forwarded_.fetch_add(n, std::memory_order_relaxed);
       total += n;
     }
     return total;
   };
-  while (running_.load(std::memory_order_relaxed)) {
+  // order: acquire -- pairs with stop()'s acq_rel exchange: once the flip is
+  // observed, every sample pushed before it is visible to the final drain.
+  while (running_.load(std::memory_order_acquire)) {
     if (drain() == 0) std::this_thread::yield();
   }
   // Final drain after the producer stopped.

@@ -36,10 +36,13 @@ class DistributedMeasurement final : public MeasurementHook {
 
   // -- producer side (datapath thread) --------------------------------------
   void on_packet(const PacketRecord& p) override {
+    // order: relaxed -- offered/drop counters on the per-packet fast path;
+    // stop() reads them only after the datapath has quiesced (see stop()).
     offered_.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t d = rng_.bounded(V_);
     if (d < H_) {
       if (!ring_.try_push(Sample{d, key_of(p)})) {
+        // order: relaxed -- drop counter (see above).
         drops_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -60,6 +63,8 @@ class DistributedMeasurement final : public MeasurementHook {
   };
   [[nodiscard]] Stats stats() const noexcept {
     Stats s;
+    // order: relaxed x3 -- individually-consistent live counters; exact
+    // totals only after stop() (thread join is the happens-before edge).
     s.offered = offered_.load(std::memory_order_relaxed);
     s.forwarded = forwarded_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);
@@ -71,12 +76,15 @@ class DistributedMeasurement final : public MeasurementHook {
   }
 
   [[nodiscard]] std::uint64_t offered() const noexcept {
+    // order: relaxed -- live counter (see stats()).
     return offered_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t forwarded() const noexcept {
+    // order: relaxed -- live counter (see stats()).
     return forwarded_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t drops() const noexcept {
+    // order: relaxed -- live counter (see stats()).
     return drops_.load(std::memory_order_relaxed);
   }
 

@@ -1,0 +1,384 @@
+// Schedule-stress suite: TSan-targeted interleavings of the engine's
+// concurrent machinery. Functionally these tests assert conservation and
+// shutdown invariants; their real payload is the schedules they force --
+// ring push/pop under contention, rotate-vs-snapshot chaos, archiver
+// start/stop/drain cycles, the coordinator clock stopped mid-rotation, and
+// the shutdown edges (stop() twice, stop() racing an in-flight rotation).
+// The `tsan` CI job runs them under ThreadSanitizer (and the `asan` job
+// under ASan/UBSan) via the `stress` ctest label, where any data race or
+// mis-ordered atomic on these paths fails the build.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "engine/engine.hpp"
+#include "net/ipv4.hpp"
+#include "store/archive.hpp"
+#include "util/random.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace rhhh {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::path(::testing::TempDir()) /
+           ("rhhh_sched_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+EngineConfig small_engine(std::uint32_t workers, std::uint32_t producers) {
+  EngineConfig cfg;
+  cfg.workers = workers;
+  cfg.producers = producers;
+  cfg.ring_capacity = 256;  // small ring: full/empty transitions are the point
+  cfg.batch = 16;
+  cfg.monitor.eps = 0.05;
+  cfg.monitor.delta = 0.05;
+  cfg.monitor.seed = 42;
+  return cfg;
+}
+
+void ingest_stream(HhhEngine& eng, std::uint32_t producer, std::uint64_t n,
+                   std::uint64_t seed) {
+  HhhEngine::Producer& prod = eng.producer(producer);
+  Xoroshiro128 rng(seed);
+  const Key128 hot = Key128::from_pair(ipv4(10, 1, 2, 3), ipv4(99, 5, 6, 7));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.bounded(8) == 0) {
+      prod.ingest(hot);
+    } else {
+      prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+    }
+  }
+  prod.flush();
+}
+
+// --------------------------------------------------------------- SpscRing --
+
+// One producer thread mixing single and batched pushes against one consumer
+// thread mixing single and batched pops, over a deliberately tiny ring so
+// both sides keep crossing the full/empty boundaries where the index
+// acquire/release pairs do their work; a third thread hammers size_approx()
+// (documented safe from any thread). The checksum proves every record
+// arrived intact and exactly once.
+TEST(SpscScheduleStress, PushPopContentionSingleAndBatch) {
+  constexpr std::uint64_t kRecords = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+
+  std::atomic<bool> done{false};
+  std::uint64_t pushed_sum = 0;
+  std::uint64_t popped_sum = 0;
+  std::uint64_t popped_cnt = 0;
+
+  std::thread producer([&] {
+    Xoroshiro128 rng(7);
+    std::uint64_t next = 1;
+    std::uint64_t batch[32];
+    while (next <= kRecords) {
+      if (rng.bounded(2) == 0) {
+        if (ring.try_push(next)) {
+          pushed_sum += next;
+          ++next;
+        }
+      } else {
+        const std::size_t want = std::min<std::uint64_t>(
+            1 + rng.bounded(32), kRecords - next + 1);
+        for (std::size_t i = 0; i < want; ++i) batch[i] = next + i;
+        const std::size_t sent = ring.try_push_n(batch, want);
+        for (std::size_t i = 0; i < sent; ++i) pushed_sum += batch[i];
+        next += sent;
+      }
+    }
+  });
+
+  std::thread watcher([&] {
+    // size_approx() must stay within [0, capacity] no matter the schedule.
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_LE(ring.size_approx(), ring.capacity());
+      std::this_thread::yield();
+    }
+  });
+
+  Xoroshiro128 rng(13);
+  std::uint64_t out[32];
+  while (popped_cnt < kRecords) {
+    if (rng.bounded(2) == 0) {
+      std::uint64_t v = 0;
+      if (ring.try_pop(v)) {
+        popped_sum += v;
+        ++popped_cnt;
+      }
+    } else {
+      const std::size_t got = ring.try_pop_n(out, 1 + rng.bounded(32));
+      for (std::size_t i = 0; i < got; ++i) popped_sum += out[i];
+      popped_cnt += got;
+    }
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  watcher.join();
+
+  EXPECT_EQ(popped_cnt, kRecords);
+  EXPECT_EQ(pushed_sum, kRecords * (kRecords + 1) / 2);
+  EXPECT_EQ(popped_sum, pushed_sum);
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+// ---------------------------------------------------------- engine chaos --
+
+// Rotations, every snapshot flavor and lock-free stats polls interleaved
+// with live producers: the quiesce protocol (epoch_req_/epoch_acked/
+// epoch_resume_) and the rotation bookkeeping under maximum contention.
+TEST(ScheduleStress, RotateVsSnapshotChaos) {
+  EngineConfig cfg = small_engine(2, 2);
+  cfg.history_depth = 3;
+  HhhEngine eng(cfg);
+  eng.start();
+
+  constexpr std::uint64_t kPerProducer = 60'000;
+  std::vector<std::thread> producers;
+  producers.reserve(2);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] { ingest_stream(eng, p, kPerProducer, 100 + p); });
+  }
+  std::thread rotator([&] {
+    for (int i = 0; i < 25; ++i) {
+      eng.rotate_epoch();
+      std::this_thread::yield();
+    }
+  });
+  std::thread snapshotter([&] {
+    Xoroshiro128 rng(0x51AB);
+    for (int i = 0; i < 25; ++i) {
+      switch (rng.bounded(3)) {
+        case 0: (void)eng.snapshot(); break;
+        case 1: (void)eng.window_snapshot(); break;
+        default: (void)eng.trend_snapshot(); break;
+      }
+    }
+  });
+  std::thread poller([&] {
+    // The lock-free read side: stats() and the window_epochs() poll that
+    // detection loops use, never touching snap_mu_.
+    for (int i = 0; i < 400; ++i) {
+      const EngineStats s = eng.stats();
+      EXPECT_LE(s.consumed + s.dropped, 2 * kPerProducer);
+      (void)eng.window_epochs();
+      (void)eng.epochs();
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  rotator.join();
+  snapshotter.join();
+  poller.join();
+  eng.stop();
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.offered, 2 * kPerProducer);
+  EXPECT_EQ(s.consumed + s.dropped, s.offered);
+  EXPECT_EQ(s.dropped, 0u) << "kBlock must stay lossless";
+  EXPECT_GE(s.window_epochs, 25u);
+}
+
+// Archiver lifecycle: start / rotate / stop cycles on one store directory.
+// Every rotation while running must be disposed of exactly once -- archived,
+// dropped on a full queue, or counted as an error -- and a cold reopen must
+// see exactly the archived windows across all generations of the archiver
+// thread (stop() retires a generation; start() spawns the next).
+TEST(ScheduleStress, ArchiverStartStopDrainCycles) {
+  TempDir dir("archiver_cycles");
+  EngineConfig cfg = small_engine(2, 1);
+  cfg.history_depth = 2;
+  cfg.archive.dir = dir.str();
+  cfg.archive.queue_windows = 4;
+
+  std::uint64_t rotations = 0;
+  HhhEngine eng(cfg);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    eng.start();
+    std::thread producer([&] {
+      ingest_stream(eng, 0, 30'000, 7'000 + static_cast<std::uint64_t>(cycle));
+    });
+    for (int r = 0; r < 4; ++r) {
+      eng.rotate_epoch();
+      ++rotations;
+    }
+    producer.join();
+    eng.stop();  // retires the archiver generation and drains the queue
+  }
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.window_epochs, rotations);
+  EXPECT_EQ(s.archived_windows + s.archive_queue_drops + s.archive_errors,
+            rotations)
+      << "every sealed window disposed of exactly once";
+  EXPECT_EQ(s.archive_errors, 0u);
+
+  const store::WindowArchive arch = store::WindowArchive::open_read(dir.str());
+  EXPECT_EQ(arch.windows(), s.archived_windows);
+  EXPECT_FALSE(arch.truncated_tail()) << "stop() must seal the open segment";
+}
+
+// The coordinator wall clock stopped while a rotation may be in flight:
+// stop() must retire the clock generation without deadlocking against a
+// clock thread blocked on snap_mu_, and without the retired thread ever
+// rotating again. Several short-lived engines maximize the chance of
+// catching the clock inside rotate_locked().
+TEST(ScheduleStress, CoordinatorStopDuringRotation) {
+  for (int round = 0; round < 4; ++round) {
+    EngineConfig cfg = small_engine(2, 1);
+    cfg.overflow = OverflowPolicy::kDropTail;
+    cfg.epoch_millis = 1;  // rotate as fast as the clock can meter
+    cfg.history_depth = 2;
+    HhhEngine eng(cfg);
+    eng.start();
+    std::atomic<bool> quit{false};
+    std::thread producer([&] {
+      HhhEngine::Producer& prod = eng.producer(0);
+      Xoroshiro128 rng(31 + static_cast<std::uint64_t>(round));
+      // order: relaxed -- quit is a plain stop flag with no payload to
+      // publish; the join below is the synchronization point.
+      while (!quit.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 256; ++i) {
+          prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+        }
+        prod.flush();
+      }
+    });
+    // Give the clock time to arm, then stop while rotations are streaming.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 + 3 * round));
+    eng.stop();
+    // order: relaxed -- see above; producer exits on next check.
+    quit.store(true, std::memory_order_relaxed);
+    producer.join();
+    // The retired clock must not rotate a stopped engine: the count is
+    // stable from here on.
+    const std::uint64_t epochs_at_stop = eng.window_epochs();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(eng.window_epochs(), epochs_at_stop);
+  }
+}
+
+// ------------------------------------------------------------ shutdown ----
+
+// stop() is idempotent and safe to race with itself: one caller wins the
+// running_ exchange and tears down; the others return without touching the
+// joined threads. The destructor then runs stop() a fourth time.
+TEST(ShutdownEdges, StopTwiceAndConcurrently) {
+  EngineConfig cfg = small_engine(2, 1);
+  cfg.epoch_millis = 1;
+  HhhEngine eng(cfg);
+  eng.start();
+  std::thread producer([&] { ingest_stream(eng, 0, 20'000, 99); });
+  producer.join();
+
+  std::thread s1([&] { eng.stop(); });
+  std::thread s2([&] { eng.stop(); });
+  s1.join();
+  s2.join();
+  eng.stop();  // third, sequential stop: still a no-op
+
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.consumed + s.dropped, s.offered);
+
+  // Restart after the triple stop must come up clean and stop again.
+  eng.start();
+  std::thread producer2([&] { ingest_stream(eng, 0, 10'000, 100); });
+  producer2.join();
+  eng.stop();
+  const EngineStats s2stats = eng.stats();
+  EXPECT_EQ(s2stats.consumed + s2stats.dropped, s2stats.offered);
+}
+
+// stop() racing manual rotate_epoch() calls: rotations serialized behind
+// snap_mu_ either complete before the teardown or run on a stopped engine
+// through the no-quiesce path; neither may deadlock or corrupt the window
+// accounting.
+TEST(ShutdownEdges, StopRacesInFlightRotation) {
+  for (int round = 0; round < 3; ++round) {
+    EngineConfig cfg = small_engine(2, 1);
+    cfg.history_depth = 2;
+    HhhEngine eng(cfg);
+    eng.start();
+    std::thread producer([&] {
+      ingest_stream(eng, 0, 40'000, 500 + static_cast<std::uint64_t>(round));
+    });
+    std::thread rotator([&] {
+      for (int i = 0; i < 20; ++i) eng.rotate_epoch();
+    });
+    // Stop mid-rotation-storm; remaining rotations hit the stopped engine.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round));
+    eng.stop();
+    rotator.join();
+    producer.join();
+    EXPECT_EQ(eng.window_epochs(), 20u);
+    const TrendSnapshot tr = eng.trend_snapshot();
+    EXPECT_LE(tr.sealed_windows(), cfg.history_depth);
+  }
+}
+
+// The archive hand-off across shutdown: a queue bounded well below the
+// rotation count forces drops, and the books must still balance -- every
+// rotation's sealed window either reached the disk (exactly once) or was
+// counted as a drop/error, with the cold store agreeing with the engine's
+// own archived_windows.
+TEST(ShutdownEdges, ArchiveQueueDrainedExactlyOnce) {
+  TempDir dir("drain_once");
+  EngineConfig cfg = small_engine(2, 1);
+  cfg.archive.dir = dir.str();
+  cfg.archive.queue_windows = 2;  // small: rotation bursts overrun it
+  cfg.history_depth = 2;
+
+  std::uint64_t rotations = 0;
+  {
+    HhhEngine eng(cfg);
+    eng.start();
+    std::thread producer([&] { ingest_stream(eng, 0, 50'000, 1234); });
+    for (int r = 0; r < 12; ++r) {
+      eng.rotate_epoch();
+      ++rotations;
+    }
+    producer.join();
+    eng.stop();
+
+    const EngineStats s = eng.stats();
+    EXPECT_EQ(s.window_epochs, rotations);
+    EXPECT_EQ(s.archived_windows + s.archive_queue_drops + s.archive_errors,
+              rotations);
+    EXPECT_EQ(s.archive_errors, 0u);
+
+    const store::WindowArchive arch = store::WindowArchive::open_read(dir.str());
+    EXPECT_EQ(arch.windows(), s.archived_windows);
+
+    // stop() again: the queue is already drained; the books must not move.
+    eng.stop();
+    const EngineStats s2 = eng.stats();
+    EXPECT_EQ(s2.archived_windows, s.archived_windows);
+    EXPECT_EQ(s2.archive_queue_drops, s.archive_queue_drops);
+  }  // destructor: one more stop() on the torn-down engine
+}
+
+}  // namespace
+}  // namespace rhhh

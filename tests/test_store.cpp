@@ -560,6 +560,214 @@ TEST(WindowArchive, MixedHierarchyRejected) {
                std::invalid_argument);
 }
 
+// ------------------------------------------ durability & run identity ----
+
+TEST(SegmentDurability, FsyncCadenceIsObservable) {
+  // 3 appends + 1 seal: kNone never syncs, kPerRoll syncs the sealed
+  // footer only, kPerRecord syncs every append and the footer.
+  const Hierarchy h = make_hierarchy(HierarchyKind::kIpv4TwoDimBytes);
+  TempDir tmp("fsync");
+  const store::Bytes payload = sample_record(h);
+  struct Case {
+    FsyncMode mode;
+    std::uint64_t want;
+  };
+  for (const Case c : {Case{FsyncMode::kNone, 0}, Case{FsyncMode::kPerRoll, 1},
+                       Case{FsyncMode::kPerRecord, 4}}) {
+    const std::string path =
+        (tmp.path / (std::string(to_string(c.mode)) + ".seg")).string();
+    store::SegmentWriter w(path, c.mode, 0x5EED);
+    for (std::uint64_t e = 1; e <= 3; ++e) w.append(payload, e, 0, 0);
+    w.seal();
+    EXPECT_EQ(w.fsyncs(), c.want) << to_string(c.mode);
+    // The cadence changes durability only, never the bytes' readability.
+    store::SegmentReader r(path);
+    EXPECT_TRUE(r.sealed());
+    EXPECT_EQ(r.records(), 3u);
+  }
+}
+
+TEST(WindowArchive, FsyncModeFlowsThroughTheArchive) {
+  const Hierarchy h = make_hierarchy(HierarchyKind::kIpv4OneDimBytes);
+  {  // kNone: zero syncs no matter how much is written.
+    TempDir tmp("fsnone");
+    ArchiveConfig cfg;
+    cfg.dir = tmp.str();
+    auto ar = store::WindowArchive::open_write(cfg);
+    for (std::uint64_t e = 1; e <= 4; ++e) {
+      const auto lat = small_window(h, e);
+      ar.append(meta_of(*lat, e), HierarchyKind::kIpv4OneDimBytes, *lat);
+    }
+    ar.close();
+    EXPECT_EQ(ar.fsyncs(), 0u);
+  }
+  {  // kPerRoll: exactly one sync per sealed segment.
+    TempDir tmp("fsroll");
+    ArchiveConfig cfg;
+    cfg.dir = tmp.str();
+    cfg.segment_bytes = 6 << 10;  // force several rolls
+    cfg.fsync_mode = FsyncMode::kPerRoll;
+    auto ar = store::WindowArchive::open_write(cfg);
+    for (std::uint64_t e = 1; e <= 12; ++e) {
+      const auto lat = small_window(h, e);
+      ar.append(meta_of(*lat, e), HierarchyKind::kIpv4OneDimBytes, *lat);
+    }
+    ar.close();
+    EXPECT_GT(ar.segments(), 2u);
+    EXPECT_EQ(ar.fsyncs(), ar.segments());
+  }
+  {  // kPerRecord: every append syncs, plus the segment's footer.
+    TempDir tmp("fsrec");
+    ArchiveConfig cfg;
+    cfg.dir = tmp.str();
+    cfg.fsync_mode = FsyncMode::kPerRecord;
+    auto ar = store::WindowArchive::open_write(cfg);
+    for (std::uint64_t e = 1; e <= 4; ++e) {
+      const auto lat = small_window(h, e);
+      ar.append(meta_of(*lat, e), HierarchyKind::kIpv4OneDimBytes, *lat);
+    }
+    ar.close();
+    ASSERT_EQ(ar.segments(), 1u);
+    EXPECT_EQ(ar.fsyncs(), 5u);  // 4 records + 1 footer
+  }
+}
+
+TEST(WindowArchive, RunIdStampedAndDistinctAcrossRuns) {
+  const Hierarchy h = make_hierarchy(HierarchyKind::kIpv4OneDimBytes);
+  TempDir tmp("runid");
+  ArchiveConfig cfg;
+  cfg.dir = tmp.str();
+  std::uint64_t r1 = 0;
+  std::uint64_t r2 = 0;
+  {
+    auto ar = store::WindowArchive::open_write(cfg);
+    r1 = ar.run_id();
+    EXPECT_NE(r1, 0u);  // 0 is reserved for "unknown" (v1 segments)
+    const auto l = small_window(h, 1);
+    ar.append(meta_of(*l, 1), HierarchyKind::kIpv4OneDimBytes, *l);
+    ar.close();
+    EXPECT_EQ(ar.segment_run_id(0), r1);
+  }
+  {
+    // A second archiver run over the same store draws a fresh identity;
+    // its segments are attributable to it, the first run's keep theirs.
+    auto ar = store::WindowArchive::open_write(cfg);
+    r2 = ar.run_id();
+    EXPECT_NE(r2, 0u);
+    EXPECT_NE(r2, r1);
+    const auto l = small_window(h, 2);
+    ar.append(meta_of(*l, 2), HierarchyKind::kIpv4OneDimBytes, *l);
+    ar.close();
+  }
+  const auto cold = store::WindowArchive::open_read(tmp.str());
+  EXPECT_EQ(cold.run_id(), 0u);  // read-only: no identity of its own
+  ASSERT_EQ(cold.segments(), 2u);
+  EXPECT_EQ(cold.segment_run_id(0), r1);
+  EXPECT_EQ(cold.segment_run_id(1), r2);
+  // The id really lives in the file header, not just the catalog.
+  store::SegmentReader seg0((tmp.path / "00000001.seg").string());
+  EXPECT_EQ(seg0.version(), 2u);
+  EXPECT_EQ(seg0.run_id(), r1);
+}
+
+TEST(SegmentLog, ReadsV1SegmentsWithoutRunId) {
+  // Hand-write the exact bytes a pre-run-id (format v1) writer produced: a
+  // 16-byte header, two framed records and a sealed footer. Today's reader
+  // must serve it unchanged, reporting run_id() == 0 ("unknown").
+  const Hierarchy h = make_hierarchy(HierarchyKind::kIpv4TwoDimBytes);
+  TempDir tmp("v1seg");
+  const std::string path = (tmp.path / "00000001.seg").string();
+  const store::Bytes p1 = sample_record(h, 1);
+  const store::Bytes p2 = sample_record(h, 2);
+
+  store::ByteWriter out;
+  out.u32(0x53484852u);  // 'R','H','H','S'
+  out.u32(1);            // format v1: no run-id field
+  out.u32(16);           // self-declared header length
+  out.u32(0);            // flags
+  std::vector<store::SegmentIndexEntry> idx;
+  for (const store::Bytes* p : {&p1, &p2}) {
+    store::SegmentIndexEntry e;
+    e.offset = out.size();
+    e.length = static_cast<std::uint32_t>(p->size());
+    e.epoch = idx.size() + 1;
+    e.wall_start_ns = static_cast<std::int64_t>(e.epoch) * 1'000'000'000;
+    e.wall_end_ns = e.wall_start_ns + 999'999'999;
+    out.u32(0x43455257u);  // 'W','R','E','C'
+    out.u32(e.length);
+    out.u32(store::crc32(*p));
+    for (const std::uint8_t b : *p) out.u8(b);
+    idx.push_back(e);
+  }
+  const std::uint64_t idx_off = out.size();
+  store::ByteWriter ix;
+  ix.u32(static_cast<std::uint32_t>(idx.size()));
+  for (const store::SegmentIndexEntry& e : idx) {
+    ix.u64(e.offset);
+    ix.u32(e.length);
+    ix.u64(e.epoch);
+    ix.i64(e.wall_start_ns);
+    ix.i64(e.wall_end_ns);
+  }
+  for (const std::uint8_t b : ix.bytes()) out.u8(b);
+  out.u64(idx_off);
+  out.u32(static_cast<std::uint32_t>(ix.size()));
+  out.u32(store::crc32(ix.bytes()));
+  out.u32(0x46484852u);  // 'R','H','H','F'
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(out.bytes().data()),
+            static_cast<std::streamsize>(out.size()));
+  }
+
+  store::SegmentReader r(path);
+  EXPECT_EQ(r.version(), 1u);
+  EXPECT_EQ(r.run_id(), 0u);
+  EXPECT_TRUE(r.sealed());
+  EXPECT_FALSE(r.truncated_tail());
+  ASSERT_EQ(r.records(), 2u);
+  EXPECT_EQ(r.read(0), p1);
+  EXPECT_EQ(r.read(1), p2);
+
+  // The archive layers on top without noticing the age of the file.
+  const auto ar = store::WindowArchive::open_read(tmp.str());
+  ASSERT_EQ(ar.windows(), 2u);
+  EXPECT_EQ(ar.segment_run_id(0), 0u);
+  EXPECT_EQ(ar.read(1).meta.epoch, 2u);
+}
+
+TEST(WindowArchive, CompactPreservesSegmentRunId) {
+  // Compaction repairs the file; it must not re-author the data -- the
+  // rewritten segment keeps the run id of the process that produced it.
+  const Hierarchy h = make_hierarchy(HierarchyKind::kIpv4OneDimBytes);
+  TempDir tmp("repairid");
+  ArchiveConfig cfg;
+  cfg.dir = tmp.str();
+  const std::uint64_t rid = 0x00C0FFEE12345678ULL;
+  {
+    store::SegmentWriter w((tmp.path / "00000001.seg").string(),
+                           FsyncMode::kNone, rid);
+    const auto l1 = small_window(h, 1);
+    w.append(store::encode_window(meta_of(*l1, 1),
+                                  HierarchyKind::kIpv4OneDimBytes, *l1),
+             1, 0, 0);
+    // Snapshot before the destructor seals: an unsealed (crashed) segment.
+    fs::copy_file(tmp.path / "00000001.seg", tmp.path / "torn.seg");
+  }
+  fs::remove(tmp.path / "00000001.seg");
+  fs::rename(tmp.path / "torn.seg", tmp.path / "00000001.seg");
+
+  auto ar = store::WindowArchive::open_write(cfg);
+  EXPECT_EQ(ar.segment_run_id(0), rid);
+  ar.compact(0);  // repair only
+
+  store::SegmentReader r((tmp.path / "00000001.seg").string());
+  EXPECT_TRUE(r.sealed());
+  EXPECT_EQ(r.version(), 2u);
+  EXPECT_EQ(r.run_id(), rid);
+  ASSERT_EQ(r.records(), 1u);
+}
+
 // ------------------------------------------- engine acceptance round trip ----
 
 /// Deterministic skewed engine stream shared by both acceptance tests.
