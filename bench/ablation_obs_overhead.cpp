@@ -1,0 +1,151 @@
+// Ablation: what the always-on telemetry layer costs.
+//
+// Two panels over the planted trace (2D bytes hierarchy):
+//   * primitive hot-path cost: RHHH lattice updates alone vs interleaved
+//     with the obs instruments they would carry (sharded counter add,
+//     log-bucketed histogram record), plus the bare instrument rates --
+//     Mops puts the per-record price next to the update it rides on.
+//   * engine ingest throughput with EngineConfig::telemetry off (the
+//     uninstrumented baseline: every hook compiles down to one null test)
+//     vs on (histograms timing each batch push/pop, gauge_fns registered).
+//     The acceptance bar is <3% Mpps cost -- printed as measured overhead.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+
+using namespace rhhh;
+using namespace rhhh::bench;
+
+namespace {
+
+double engine_mpps(const std::vector<Key128>& keys, std::uint32_t workers,
+                   bool telemetry, obs::MetricsRegistry* reg, const Args& args,
+                   int run) {
+  EngineConfig cfg;
+  cfg.monitor.hierarchy = HierarchyKind::kIpv4TwoDimBytes;
+  cfg.monitor.eps = args.eps;
+  cfg.monitor.delta = args.delta;
+  cfg.monitor.seed = args.seed + static_cast<std::uint64_t>(run);
+  cfg.workers = workers;
+  cfg.producers = workers;
+  cfg.ring_capacity = 1 << 16;
+  cfg.batch = 256;
+  cfg.policy = ShardPolicy::kKeyHash;
+  cfg.overflow = OverflowPolicy::kBlock;  // lossless: Mpps counts real work
+  cfg.telemetry = telemetry;
+  cfg.metrics = reg;
+  const std::unique_ptr<HhhEngine> eng = make_engine(cfg);
+  eng->start();
+
+  const double t0 = now_sec();
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < workers; ++p) {
+    producers.emplace_back([&, p] {
+      HhhEngine::Producer& prod = eng->producer(p);
+      const std::size_t lo = keys.size() * p / workers;
+      const std::size_t hi = keys.size() * (p + 1) / workers;
+      for (std::size_t i = lo; i < hi; ++i) prod.ingest(keys[i]);
+      prod.flush();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  eng->stop();  // drains every ring
+  return static_cast<double>(keys.size()) / (now_sec() - t0) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Args::parse(argc, argv);
+  print_figure_header(
+      "Obs overhead",
+      "Telemetry layer cost: instrument primitives and engine ingest, on vs off",
+      args);
+
+  const Hierarchy h = Hierarchy::ipv4_2d(Granularity::kByte);
+  const auto n = static_cast<std::size_t>(4e6 * args.scale);
+  const std::vector<Key128>& keys = trace_keys(h, "chicago16", n);
+
+  obs::MetricsRegistry reg;
+  obs::Counter& ctr = reg.counter("bench_obs_updates_total");
+  obs::Histogram& hist = reg.histogram("bench_obs_latency_ns");
+
+  std::printf("\n-- primitive hot-path cost, %zu ops each --\n", keys.size());
+  print_row({"workload", "Mops (95% CI)"});
+
+  const auto lattice_run = [&](bool with_counter, bool with_hist) {
+    RunningStats s;
+    for (int r = 0; r < args.runs; ++r) {
+      LatticeParams lp;
+      lp.eps = args.eps;
+      lp.delta = args.delta;
+      lp.seed = args.seed + static_cast<std::uint64_t>(r);
+      RhhhSpaceSaving lat(h, LatticeMode::kRhhh, lp);
+      const double t0 = now_sec();
+      for (const Key128& k : keys) {
+        lat.update(k);
+        if (with_counter) ctr.inc();
+        if (with_hist) hist.record(64);
+      }
+      s.add(static_cast<double>(keys.size()) / (now_sec() - t0) / 1e6);
+    }
+    return s;
+  };
+
+  print_row({"lattice update", ci_cell(lattice_run(false, false))});
+  print_row({"update + counter", ci_cell(lattice_run(true, false))});
+  print_row({"update + histogram", ci_cell(lattice_run(false, true))});
+  {
+    RunningStats s;
+    for (int r = 0; r < args.runs; ++r) {
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < keys.size(); ++i) ctr.inc();
+      s.add(static_cast<double>(keys.size()) / (now_sec() - t0) / 1e6);
+    }
+    print_row({"counter add", ci_cell(s)});
+  }
+  {
+    RunningStats s;
+    for (int r = 0; r < args.runs; ++r) {
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        hist.record(i & 0xFFFF);
+      }
+      s.add(static_cast<double>(keys.size()) / (now_sec() - t0) / 1e6);
+    }
+    print_row({"histogram record", ci_cell(s)});
+  }
+
+  std::printf("\n-- engine ingest, telemetry off vs on --\n");
+  print_row({"workers", "off Mpps (95% CI)", "on Mpps (95% CI)"});
+  double off_mean_w2 = 0.0;
+  double on_mean_w2 = 0.0;
+  for (const std::uint32_t workers : {1u, 2u}) {
+    RunningStats off;
+    RunningStats on;
+    for (int r = 0; r < args.runs; ++r) {
+      off.add(engine_mpps(keys, workers, false, &reg, args, r));
+      on.add(engine_mpps(keys, workers, true, &reg, args, r));
+    }
+    if (workers == 2) {
+      off_mean_w2 = off.mean();
+      on_mean_w2 = on.mean();
+    }
+    print_row({std::to_string(workers), ci_cell(off), ci_cell(on)});
+  }
+
+  const double overhead =
+      off_mean_w2 > 0.0 ? (1.0 - on_mean_w2 / off_mean_w2) * 100.0 : 0.0;
+  std::printf(
+      "\n(telemetry=off makes every hook a single null test; the on column\n"
+      " adds two steady_clock reads per %zu-key batch plus relaxed sharded\n"
+      " adds. measured w=2 ingest overhead: %.2f%% -- the acceptance bar\n"
+      " is <3%%.)\n",
+      static_cast<std::size_t>(256), overhead);
+  return 0;
+}

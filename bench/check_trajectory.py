@@ -8,9 +8,12 @@ regressed by more than --max-regress (relative).
 
 Cells are matched positionally per (section, row label, column). Numeric
 cells are the leading float of strings like "12.3 +-0.5"; non-numeric cells
-(headers, "miss", "x2.1" speedup ratios) are skipped. Higher is assumed
-better (Mpps / M updates per second tables); benches where lower is better
-should not be pointed at this checker.
+(headers, "miss", "x2.1" speedup ratios) are skipped. Direction is
+inferred per column from the most recent header row (a row whose data
+cells are all non-numeric): latency/size columns -- "... ms", "... us",
+"... ns", "memory ...", trailing "MB" -- regress when they GROW, while
+everything else (Mpps, win/s, MB/s, counts: the default) regresses when it
+drops, so rate and latency panels of one bench gate together.
 
 A missing previous baseline (first run on a branch, expired artifact) is a
 pass with a notice -- the checker bootstraps itself from the next upload.
@@ -35,6 +38,11 @@ import sys
 
 NUM_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)(\s|$)")
 HALF_RE = re.compile(r"\+-\s*([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)")
+# Column headers naming a duration or a footprint gate in the opposite
+# direction: growth is the regression. "MB/s", "win/s", "Mpps" etc. keep
+# the higher-is-better default ("MB" only matches at the end of the
+# header, so rates with a /s suffix never flip).
+LOWER_BETTER_RE = re.compile(r"\b(ms|us|ns)\b|\bmemory\b|\bMB$")
 
 
 def leading_number(cell):
@@ -59,26 +67,39 @@ def load(path):
 
 
 def index_rows(doc):
-    """{(section, label, occurrence, col): value} for every numeric cell.
+    """({(section, label, occurrence, col): value}, {lower-better keys}).
 
     A section can hold several stacked panels (fig5 prints one table per
     trace x hierarchy), so the same row label recurs; the occurrence index
     keeps those rows distinct instead of silently keeping only the last.
+
+    Rows whose data cells are all non-numeric are header rows: they carry
+    no values but set each column's direction (LOWER_BETTER_RE) for the
+    data rows beneath them, until the next header row.
     """
     cells = {}
+    lower = set()
     seen = {}
     for s, section in enumerate(doc.get("sections", [])):
+        header = []
         for row in section.get("rows", []):
             if not row:
+                continue
+            data = row[1:]
+            if data and all(leading_number(c) is None for c in data):
+                header = row
                 continue
             label = row[0]
             occ = seen.get((s, label), 0)
             seen[(s, label)] = occ + 1
-            for c, cell in enumerate(row[1:], start=1):
+            for c, cell in enumerate(data, start=1):
                 v = leading_number(cell)
-                if v is not None:
-                    cells[(s, label, occ, c)] = v
-    return cells
+                if v is None:
+                    continue
+                cells[(s, label, occ, c)] = v
+                if c < len(header) and LOWER_BETTER_RE.search(header[c]):
+                    lower.add((s, label, occ, c))
+    return cells, lower
 
 
 def check_bench(bench, max_regress, args):
@@ -102,7 +123,7 @@ def check_bench(bench, max_regress, args):
                   "passing")
             return 0
 
-    cur, prev = index_rows(cur_doc), index_rows(prev_doc)
+    (cur, _), (prev, prev_lower) = index_rows(cur_doc), index_rows(prev_doc)
     compared = 0
     failures = []
     for key, (old, old_half) in prev.items():
@@ -111,18 +132,24 @@ def check_bench(bench, max_regress, args):
             continue
         new, new_half = hit
         compared += 1
-        drop = (old - new) / old
+        # Latency/footprint columns regress when they grow; rates and
+        # counts (the default) when they drop. Either way `drop` is the
+        # relative move in the bad direction.
+        if key in prev_lower:
+            drop, verb = (new - old) / old, "grew"
+        else:
+            drop, verb = (old - new) / old, "drop"
         # A real regression must clear the relative threshold AND the two
         # measurements' combined 95% half-widths -- multi-run cells carry
         # their own noise estimate, so a wide-CI cell (shared CI runners,
         # cold-cache first column) cannot flap the gate by itself.
-        if drop > max_regress and (old - new) > old_half + new_half:
+        if drop > max_regress and abs(old - new) > old_half + new_half:
             s, label, occ, c = key
             figure = prev_doc["sections"][s].get("figure", f"section {s}")
             failures.append(
                 f"  {figure} / {label} #{occ} [col {c}]: {old:g}+-{old_half:g} "
                 f"-> {new:g}+-{new_half:g} "
-                f"({drop:.1%} drop > {max_regress:.0%})")
+                f"({drop:.1%} {verb} > {max_regress:.0%})")
 
     print(f"{bench}: compared {compared} cells against {prev_path}")
     if compared == 0 and not args.allow_empty:

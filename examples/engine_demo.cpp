@@ -8,7 +8,14 @@
 // DIR; after shutdown the demo reopens the store cold and answers the same
 // last-K query from disk (inspect it further with store_tool).
 //
-// Run:  ./engine_demo [packets] [--archive DIR]
+// With --metrics PORT (0 = kernel-assigned) the telemetry exporter serves
+// GET /metrics, /metrics.json, /trace and /healthz on 127.0.0.1 for the
+// whole run -- `curl 127.0.0.1:PORT/metrics` while the demo ingests.
+// --serve-ms MS keeps serving that long after the run finishes (for
+// external scrapers); the demo always self-scrapes once at the end and
+// fails if the engine's own families are missing from the exposition.
+//
+// Run:  ./engine_demo [packets] [--archive DIR] [--metrics PORT [--serve-ms MS]]
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -20,6 +27,9 @@
 #include "core/monitor.hpp"
 #include "engine/engine.hpp"
 #include "net/ipv4.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "store/archive.hpp"
 #include "trace/trace_gen.hpp"
 #include "util/random.hpp"
@@ -46,14 +56,33 @@ void print_view(const rhhh::HhhEngine& eng, const rhhh::EngineSnapshot& snap,
 int main(int argc, char** argv) {
   std::size_t packets = 2'000'000;
   std::string archive_dir;
+  bool serve_metrics = false;
+  std::uint16_t metrics_port = 0;
+  std::uint64_t serve_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--archive") == 0 && i + 1 < argc) {
       archive_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      serve_metrics = true;
+      metrics_port =
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-ms") == 0 && i + 1 < argc) {
+      serve_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       packets = std::strtoull(argv[i], nullptr, 10);
     }
   }
   const double theta = 0.1;
+
+  // The exporter serves the global registry -- the same one the engine
+  // binds its instruments to below (EngineConfig::metrics defaults to it).
+  rhhh::obs::MetricsExporter exporter(rhhh::obs::MetricsRegistry::global(),
+                                      &rhhh::obs::TraceRing::global());
+  if (serve_metrics) {
+    exporter.start(metrics_port);
+    std::printf("metrics: serving http://127.0.0.1:%u/metrics\n",
+                exporter.port());
+  }
 
   rhhh::EngineConfig cfg;
   cfg.monitor.hierarchy = rhhh::HierarchyKind::kIpv4TwoDimBytes;
@@ -159,6 +188,24 @@ int main(int argc, char** argv) {
                     100.0 * c.f_est / n);
       }
     }
+  }
+
+  if (serve_metrics) {
+    // Self-scrape: the demo doubles as the exporter smoke test.
+    const std::string body =
+        rhhh::obs::http_get_local(exporter.port(), "/metrics");
+    if (body.find("rhhh_engine_push_batch_ns") == std::string::npos) {
+      std::printf("ERROR: /metrics is missing the engine families\n");
+      return 1;
+    }
+    std::printf("\nself-scrape ok: %zu bytes of exposition, %" PRIu64
+                " request(s) served\n",
+                body.size(), exporter.scrapes());
+    if (serve_ms > 0) {
+      std::printf("serving /metrics for another %" PRIu64 " ms...\n", serve_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+    }
+    exporter.stop();
   }
   return 0;
 }

@@ -15,6 +15,11 @@
 //   store_tool compact DIR [--retain-bytes B]
 //       Rewrite torn segments as sealed ones and (with --retain-bytes)
 //       delete the oldest segments beyond the byte budget.
+//   store_tool stats DIR [--json]
+//       Store health as metrics: segment/window/byte gauges plus
+//       per-window stream-length and duration histograms, rendered in the
+//       same Prometheus text (default) or JSON exposition a live engine's
+//       /metrics endpoint serves.
 //
 // Exits 0 on success, 1 on a corrupt/unusable store, 2 on usage errors.
 #include <cinttypes>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "store/archive.hpp"
 
 namespace {
@@ -37,7 +43,8 @@ int usage() {
                "       store_tool query DIR [--last K] [--from NS --to NS] "
                "[--theta T]\n"
                "       store_tool replay DIR [--theta T] [--top M]\n"
-               "       store_tool compact DIR [--retain-bytes B]\n");
+               "       store_tool compact DIR [--retain-bytes B]\n"
+               "       store_tool stats DIR [--json]\n");
   return 2;
 }
 
@@ -115,6 +122,39 @@ int cmd_replay(const store::WindowArchive& ar, double theta, std::size_t top) {
   return 0;
 }
 
+int cmd_stats(const store::WindowArchive& ar, bool json) {
+  // Offline rendering of the same families a live writable archive
+  // registers, against a private registry: the cold-store health check in
+  // scrape-ready form.
+  obs::MetricsRegistry reg;
+  reg.gauge("rhhh_store_segments", "segment files in the store").set(
+      static_cast<std::int64_t>(ar.segments()));
+  reg.gauge("rhhh_store_windows", "archived windows across all segments")
+      .set(static_cast<std::int64_t>(ar.windows()));
+  reg.gauge("rhhh_store_bytes", "store footprint in bytes")
+      .set(static_cast<std::int64_t>(ar.total_bytes()));
+  reg.gauge("rhhh_store_torn_tail", "1 when a crash left a torn segment tail")
+      .set(ar.truncated_tail() ? 1 : 0);
+  obs::Counter& stream = reg.counter("rhhh_store_stream_total",
+                                     "packets across all archived windows");
+  obs::Counter& drops =
+      reg.counter("rhhh_store_drops_total", "attributed drops, all windows");
+  obs::Histogram& len = reg.histogram("rhhh_store_window_stream_length",
+                                      "per-window packet count");
+  obs::Histogram& dur = reg.histogram("rhhh_store_window_duration_ns",
+                                      "per-window live duration (ns)");
+  for (const store::WindowMeta& m : ar.list()) {
+    stream.add(m.stream_length);
+    drops.add(m.drops);
+    len.record(m.stream_length);
+    dur.record(static_cast<std::uint64_t>(m.duration_ns));
+  }
+  const std::string out = json ? reg.render_json() : reg.render_prometheus();
+  std::printf("%s", out.c_str());
+  if (json) std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,6 +172,7 @@ int main(int argc, char** argv) {
   double theta = 0.05;
   std::uint64_t retain = 0;
   std::size_t top = 5;
+  bool json = false;
   for (int i = 3; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -154,6 +195,8 @@ int main(int argc, char** argv) {
       retain = std::strtoull(need("--retain-bytes"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--top") == 0) {
       top = std::strtoull(need("--top"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       std::fprintf(stderr, "store_tool: unknown flag %s\n", argv[i]);
       return usage();
@@ -170,6 +213,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "replay") {
       return cmd_replay(rhhh::store::WindowArchive::open_read(dir), theta, top);
+    }
+    if (cmd == "stats") {
+      return cmd_stats(rhhh::store::WindowArchive::open_read(dir), json);
     }
     if (cmd == "compact") {
       rhhh::ArchiveConfig cfg;

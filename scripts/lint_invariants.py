@@ -18,6 +18,12 @@ Checks things no generic tool enforces:
    <condition_variable> (the engine's control plane lives in src/engine/,
    which may).
 3. Every header under src/ starts with #pragma once.
+4. Telemetry call-site discipline (src/, tests/, examples/, bench/):
+   instruments are registry-owned -- `obs::Counter/Gauge/Histogram` must
+   never be constructed directly outside src/obs/ (cache the reference
+   `MetricsRegistry::counter()` returns instead), and registrations must
+   carry a real metric name: `counter("")` & friends are rejected here
+   before the runtime std::invalid_argument backstop fires.
 
 Exit code 0 when clean, 1 with one line per finding otherwise.
 """
@@ -49,6 +55,16 @@ HOT_PATH_DIRS = ("util", "core", "hh", "hhh")
 FORBIDDEN_INCLUDES = re.compile(
     r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
 )
+
+# Direct instrument construction (`obs::Counter c;` / `obs::Histogram h{...}`)
+# -- pointer/reference declarations (`obs::Counter*`, `obs::Counter&`) don't
+# match and stay legal. Constructors are private with a MetricsRegistry
+# friend, so this is the readable early finding for what the compiler would
+# reject anyway.
+OBS_DIRECT_RE = re.compile(r"\bobs::(Counter|Gauge|Histogram)\s+\w+\s*[;{(=]")
+# Empty metric name at a registration call site (matched on the raw line,
+# before string stripping).
+OBS_EMPTY_NAME_RE = re.compile(r"\b(gauge_fn|counter|gauge|histogram)\s*\(\s*\"\s*\"")
 
 
 def strip_strings(line: str) -> str:
@@ -140,6 +156,27 @@ def lint_hot_path_header(path: Path, rel: str, findings: list[str]) -> None:
             )
 
 
+def lint_obs_call_sites(path: Path, rel: str, findings: list[str]) -> None:
+    in_obs = "src/obs/" in rel
+    for row, raw in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        if raw.lstrip().startswith("//"):
+            continue
+        if not in_obs:
+            m = OBS_DIRECT_RE.search(strip_strings(raw))
+            if m:
+                findings.append(
+                    f"{rel}:{row + 1}: direct obs::{m.group(1)} construction "
+                    "outside src/obs/ -- instruments are registry-owned; cache "
+                    "the reference MetricsRegistry returns"
+                )
+        m = OBS_EMPTY_NAME_RE.search(raw)
+        if m:
+            findings.append(
+                f"{rel}:{row + 1}: {m.group(1)}(\"\") registers an unnamed "
+                "metric -- every instrument needs a Prometheus family name"
+            )
+
+
 def lint_pragma_once(path: Path, rel: str, findings: list[str]) -> None:
     for line in path.read_text(encoding="utf-8").splitlines():
         stripped = line.strip()
@@ -165,10 +202,22 @@ def main() -> int:
             continue
         rel = path.relative_to(args.root).as_posix()
         lint_atomics(path, rel, findings)
+        lint_obs_call_sites(path, rel, findings)
         if path.suffix == ".hpp":
             lint_pragma_once(path, rel, findings)
             if path.parent.name in HOT_PATH_DIRS:
                 lint_hot_path_header(path, rel, findings)
+
+    # Telemetry call-site rules also cover the consumers of src/obs/.
+    for extra in ("tests", "examples", "bench"):
+        d = args.root / extra
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp") or not path.is_file():
+                continue
+            rel = path.relative_to(args.root).as_posix()
+            lint_obs_call_sites(path, rel, findings)
 
     if findings:
         print(f"lint_invariants: {len(findings)} finding(s)")

@@ -21,6 +21,11 @@
 
 namespace rhhh {
 
+namespace obs {
+class MetricsRegistry;  // obs/metrics.hpp (forward-declared: core/ stays
+                        // free of the telemetry layer's <mutex> includes)
+}  // namespace obs
+
 enum class HierarchyKind : std::uint8_t {
   kIpv4OneDimBytes,   // H = 5
   kIpv4OneDimBits,    // H = 33
@@ -114,6 +119,14 @@ struct ArchiveConfig {
   /// archiver thread, so even kPerRecord never stalls a rotation).
   FsyncMode fsync_mode = FsyncMode::kNone;
 
+  // -- telemetry (src/obs/) -------------------------------------------------
+  /// When true, a writable archive registers store metrics (append/fsync/
+  /// compaction latency, bytes written, segment gauges) against `metrics`
+  /// (the process-global registry when null) and records roll/compaction
+  /// events into the global TraceRing. Read-only archives never register.
+  bool telemetry = true;
+  obs::MetricsRegistry* metrics = nullptr;
+
   [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };
 
@@ -152,6 +165,19 @@ struct EngineConfig {
   /// rotation never blocks on I/O. Requires a window clock or manual
   /// rotate_epoch() calls to produce sealed windows at all.
   ArchiveConfig archive{};
+
+  // -- always-on telemetry (src/obs/) ---------------------------------------
+  /// When true (the default -- the layer costs <3% update throughput, see
+  /// bench/ablation_obs_overhead), the engine registers latency histograms
+  /// (push/pop batch, quiesce, rotation, snapshot/trend merge), occupancy
+  /// and queue-depth gauges, and EngineStats counter mirrors against
+  /// `metrics` (the process-global registry when null), and records
+  /// rotation/quiesce/seal/archive events into the global TraceRing.
+  /// `false` is the uninstrumented baseline the overhead ablation measures
+  /// against. With several engines sharing one registry, per-instance
+  /// gauges are last-writer-wins; pass a private registry for isolation.
+  bool telemetry = true;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class HhhEngine;  // engine/engine.hpp

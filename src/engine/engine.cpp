@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "store/archive.hpp"
 
 namespace rhhh {
@@ -38,6 +40,11 @@ void HhhEngine::Producer::flush_worker(std::uint32_t w) {
     offered_local_ = 0;
   }
   if (b.empty()) return;
+  // Telemetry probe: two clock reads per batch (~64 keys), recorded only
+  // when the engine is instrumented -- the compiled-out baseline is a
+  // single pointer test.
+  const std::uint64_t obs_t0 =
+      eng_->obs_.push_ns != nullptr ? obs::now_ns() : 0;
   SpscRing<Key128>& ring = eng_->ring(id_, w);
   const std::size_t idx = id_ * eng_->workers() + w;
   const Key128* data = b.data();
@@ -69,6 +76,7 @@ void HhhEngine::Producer::flush_worker(std::uint32_t w) {
     // by the ring's release store, not by this statistic.
     eng_->ring_pushed_[idx]->fetch_add(pushed, std::memory_order_relaxed);
   }
+  if (eng_->obs_.push_ns != nullptr) eng_->obs_.push_ns->record_since(obs_t0);
   b.clear();
 }
 
@@ -135,9 +143,148 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
       std::memory_order_relaxed);
   win_started_wall_ns_ =
       std::chrono::system_clock::now().time_since_epoch().count();
+  // The archiver inherits the engine's telemetry switch and registry unless
+  // the archive config overrides them explicitly.
+  if (!cfg_.telemetry) cfg_.archive.telemetry = false;
+  if (cfg_.archive.metrics == nullptr) cfg_.archive.metrics = cfg_.metrics;
+  bind_metrics();
 }
 
-HhhEngine::~HhhEngine() { stop(); }
+HhhEngine::~HhhEngine() {
+  stop();
+  // After stop(): no worker/clock/archiver thread can touch obs_ anymore,
+  // and the registry must stop sampling the `this`-capturing gauges before
+  // the members they read are destroyed.
+  unbind_metrics();
+}
+
+void HhhEngine::bind_metrics() {
+  if (!cfg_.telemetry) return;
+  obs::MetricsRegistry& reg =
+      cfg_.metrics != nullptr ? *cfg_.metrics : obs::MetricsRegistry::global();
+  obs_.reg = &reg;
+  obs_.trace = &obs::TraceRing::global();
+  // Histograms and the queue-depth gauge are registry-owned and cumulative:
+  // successive engines (bench sweeps) accumulate into the same families.
+  obs_.push_ns = &reg.histogram("rhhh_engine_push_batch_ns",
+                                "producer batch push latency (ns)");
+  obs_.pop_ns = &reg.histogram("rhhh_engine_pop_batch_ns",
+                               "worker drain-pass latency (ns)");
+  obs_.quiesce_ns = &reg.histogram(
+      "rhhh_engine_quiesce_ns", "epoch boundary request->all-acked wait (ns)");
+  obs_.rotation_ns =
+      &reg.histogram("rhhh_engine_rotation_ns", "window rotation cost (ns)");
+  obs_.snapshot_ns = &reg.histogram("rhhh_engine_snapshot_merge_ns",
+                                    "snapshot/window_snapshot merge time (ns)");
+  obs_.trend_ns = &reg.histogram("rhhh_engine_trend_merge_ns",
+                                 "trend_snapshot merge time (ns)");
+  obs_.archive_q_depth = &reg.gauge("rhhh_engine_archive_queue_depth",
+                                    "sealed windows queued for the archiver");
+  // Counter mirrors and occupancy: gauge_fn samplers over the engine's own
+  // atomics (lock-free reads only -- the registry samples them under its
+  // scrape mutex). They capture `this`, so every name goes on the owned
+  // list and dies with the engine.
+  const auto own = [&](const std::string& name, std::function<double()> fn,
+                       const std::string& help) {
+    reg.gauge_fn(name, std::move(fn), help);
+    obs_.owned.push_back(name);
+  };
+  own("rhhh_engine_offered",
+      [this] {
+        double o = 0;
+        for (const auto& p : producers_) o += static_cast<double>(p->offered());
+        return o;
+      },
+      "records accepted and published by producer handles");
+  own("rhhh_engine_consumed",
+      [this] {
+        double c = 0;
+        for (const auto& ws : workers_) {
+          // order: relaxed -- statistic sampled at scrape time.
+          c += static_cast<double>(ws->consumed.load(std::memory_order_relaxed));
+        }
+        return c;
+      },
+      "records consumed into shard lattices");
+  own("rhhh_engine_dropped",
+      [this] {
+        double d = 0;
+        for (const auto& r : ring_dropped_) {
+          // order: relaxed -- statistic sampled at scrape time.
+          d += static_cast<double>(r->load(std::memory_order_relaxed));
+        }
+        return d;
+      },
+      "records dropped at full rings (kDropTail)");
+  own("rhhh_engine_backpressure_waits",
+      [this] {
+        double b = 0;
+        for (const auto& w : backpressure_) {
+          // order: relaxed -- statistic sampled at scrape time.
+          b += static_cast<double>(w->load(std::memory_order_relaxed));
+        }
+        return b;
+      },
+      "producer spin rounds on full rings (kBlock)");
+  own("rhhh_engine_epochs",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(epoch_req_.load(std::memory_order_relaxed));
+      },
+      "quiesce generations (snapshots + rotations)");
+  own("rhhh_engine_window_epochs",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            window_epochs_.load(std::memory_order_relaxed));
+      },
+      "completed window rotations");
+  own("rhhh_engine_archived_windows",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            archived_windows_.load(std::memory_order_relaxed));
+      },
+      "windows persisted by the archiver");
+  own("rhhh_engine_archive_queue_drops",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            archive_queue_drops_.load(std::memory_order_relaxed));
+      },
+      "sealed windows dropped at a full archiver queue");
+  own("rhhh_engine_archive_errors",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            archive_errors_.load(std::memory_order_relaxed));
+      },
+      "windows lost to archive I/O errors");
+  own("rhhh_engine_trend_cache_hits",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            trend_cache_hits_.load(std::memory_order_relaxed));
+      },
+      "trend_snapshot sealed-merge cache hits");
+  for (std::uint32_t p = 0; p < producers(); ++p) {
+    for (std::uint32_t w = 0; w < workers(); ++w) {
+      own("rhhh_engine_ring_occupancy{ring=\"p" + std::to_string(p) + "w" +
+              std::to_string(w) + "\"}",
+          [this, p, w] {
+            return static_cast<double>(ring(p, w).size_approx());
+          },
+          "records in flight per producer x worker ring");
+    }
+  }
+}
+
+void HhhEngine::unbind_metrics() {
+  if (obs_.reg == nullptr) return;
+  for (const std::string& name : obs_.owned) obs_.reg->unregister(name);
+  obs_.owned.clear();
+  obs_.reg = nullptr;
+}
 
 std::unique_ptr<RhhhSpaceSaving> HhhEngine::make_shard_lattice(
     std::uint64_t salt) const {
@@ -283,6 +430,9 @@ void HhhEngine::archive_loop(store::WindowArchive* arch, std::uint64_t gen) {
       if (archive_q_.empty()) return;
       item = std::move(archive_q_.front());
       archive_q_.pop_front();
+      if (obs_.archive_q_depth != nullptr) {
+        obs_.archive_q_depth->set(static_cast<std::int64_t>(archive_q_.size()));
+      }
     }
     // Decoding, merging, serialization and disk I/O all happen here,
     // outside every engine lock: an archiver stalled on a slow disk
@@ -306,14 +456,27 @@ void HhhEngine::archive_one(store::WindowArchive* arch, const ArchiveItem& item)
       merged->merge(*shard);
     }
     if (item.meta.drops != 0) merged->advance_stream(item.meta.drops);
+    const std::uint64_t append_t0 =
+        obs_.trace != nullptr ? obs::now_ns() : 0;
     arch->append(item.meta, cfg_.monitor.hierarchy, *merged);
     // order: relaxed -- success counter; readers that need it consistent
     // with the on-disk state reopen the store instead.
     archived_windows_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.trace != nullptr) {
+      const std::uint64_t now = obs::now_ns();
+      obs_.trace->record(obs::TraceEvent::kArchive,
+                         static_cast<std::int64_t>(now), item.meta.epoch,
+                         now >= append_t0 ? now - append_t0 : 0);
+    }
   } catch (const std::exception&) {
     // Window lost (disk full, I/O error); count loudly and keep going.
     // order: relaxed -- error counter; no payload rides on it.
     archive_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.trace != nullptr) {
+      obs_.trace->record(obs::TraceEvent::kArchiveError,
+                         static_cast<std::int64_t>(obs::now_ns()),
+                         item.meta.epoch, 0);
+    }
   }
 }
 
@@ -330,6 +493,12 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
     if (archive_q_.size() >= cfg_.archive.queue_windows) {
       // order: relaxed -- drop counter; the queue itself is under arch_mu_.
       archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.trace != nullptr) {
+        // order: relaxed -- window_epochs_ stable under snap_mu_ (held).
+        obs_.trace->record(obs::TraceEvent::kArchiveDrop,
+                           static_cast<std::int64_t>(obs::now_ns()),
+                           window_epochs_.load(std::memory_order_relaxed), 0);
+      }
       return;
     }
   }
@@ -368,9 +537,17 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
     if (archive_q_.size() >= cfg_.archive.queue_windows) {
       // order: relaxed -- drop counter (same as the pre-check above).
       archive_queue_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.trace != nullptr) {
+        obs_.trace->record(obs::TraceEvent::kArchiveDrop,
+                           static_cast<std::int64_t>(obs::now_ns()),
+                           item.meta.epoch, 0);
+      }
       return;
     }
     archive_q_.push_back(std::move(item));
+    if (obs_.archive_q_depth != nullptr) {
+      obs_.archive_q_depth->set(static_cast<std::int64_t>(archive_q_.size()));
+    }
   }
   arch_cv_.notify_one();
 }
@@ -378,6 +555,9 @@ void HhhEngine::enqueue_archive(std::uint64_t sealed_drop,
 std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
   WorkerState& ws = *workers_[w];
   RhhhSpaceSaving& lattice = ws.ring.live();
+  // Telemetry probe: one clock read per pass, recorded only for passes that
+  // consumed something (idle spins would swamp the histogram with noise).
+  const std::uint64_t obs_t0 = obs_.pop_ns != nullptr ? obs::now_ns() : 0;
   std::size_t total = 0;
   for (std::uint32_t p = 0; p < producers(); ++p) {
     const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
@@ -388,7 +568,10 @@ std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
     total += n;
   }
   // order: relaxed -- consumed counter; exact only under quiesce.
-  if (total != 0) ws.consumed.fetch_add(total, std::memory_order_relaxed);
+  if (total != 0) {
+    ws.consumed.fetch_add(total, std::memory_order_relaxed);
+    if (obs_.pop_ns != nullptr) obs_.pop_ns->record_since(obs_t0);
+  }
   return total;
 }
 
@@ -574,15 +757,26 @@ std::uint64_t HhhEngine::quiesced(Fn&& fn) {
   // worker state is fully visible before we signal its workers.
   const bool live = running_.load(std::memory_order_acquire);
   if (live) {
+    const std::uint64_t obs_t0 =
+        obs_.quiesce_ns != nullptr ? obs::now_ns() : 0;
     // order: release -- pairs with the workers' acquire load in
     // worker_loop(): the boundary request publishes everything sequenced
     // before it alongside the new epoch number.
     epoch_req_.store(e, std::memory_order_release);
-    std::unique_lock<std::mutex> lk(ctl_mu_);
-    ctl_cv_.wait(lk, [&] {
-      return std::all_of(workers_.begin(), workers_.end(),
-                         [&](const auto& ws) { return ws->epoch_acked >= e; });
-    });
+    {
+      std::unique_lock<std::mutex> lk(ctl_mu_);
+      ctl_cv_.wait(lk, [&] {
+        return std::all_of(workers_.begin(), workers_.end(),
+                           [&](const auto& ws) { return ws->epoch_acked >= e; });
+      });
+    }
+    if (obs_.quiesce_ns != nullptr) {
+      const std::uint64_t now = obs::now_ns();
+      const std::uint64_t dur = now >= obs_t0 ? now - obs_t0 : 0;
+      obs_.quiesce_ns->record(dur);
+      obs_.trace->record(obs::TraceEvent::kQuiesce,
+                         static_cast<std::int64_t>(now), e, dur);
+    }
   } else {
     // No workers to quiesce (before start() or after stop()); the lattices
     // are only mutated by workers, so operating directly is safe. The
@@ -609,6 +803,7 @@ std::uint64_t HhhEngine::quiesced(Fn&& fn) {
 
 EngineSnapshot HhhEngine::snapshot() {
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  const obs::ScopedTimer obs_t(obs_.snapshot_ns);
   std::unique_ptr<RhhhSpaceSaving> merged;
   EngineStats s;
   const std::uint64_t e = quiesced([&] {
@@ -622,10 +817,15 @@ EngineSnapshot HhhEngine::snapshot() {
     // DistributedMeasurement::stop() does.
     if (s.dropped != 0) merged->advance_stream(s.dropped);
   });
+  if (obs_.trace != nullptr) {
+    obs_.trace->record(obs::TraceEvent::kSnapshot,
+                       static_cast<std::int64_t>(obs::now_ns()), e, 0);
+  }
   return EngineSnapshot(std::move(merged), std::move(s), e);
 }
 
 void HhhEngine::rotate_locked() {
+  const std::uint64_t obs_t0 = obs_.rotation_ns != nullptr ? obs::now_ns() : 0;
   std::uint64_t sealed_drop = 0;
   std::uint64_t duration_ns = 0;
   const std::int64_t wall_start_ns = win_started_wall_ns_;
@@ -674,6 +874,17 @@ void HhhEngine::rotate_locked() {
   if (archive_ != nullptr) {
     enqueue_archive(sealed_drop, duration_ns, wall_start_ns, wall_end_ns);
   }
+  if (obs_.rotation_ns != nullptr) {
+    const std::uint64_t now = obs::now_ns();
+    const std::uint64_t rot_ns = now >= obs_t0 ? now - obs_t0 : 0;
+    obs_.rotation_ns->record(rot_ns);
+    // order: relaxed -- just bumped under snap_mu_ (held); stable here.
+    const std::uint64_t we = window_epochs_.load(std::memory_order_relaxed);
+    obs_.trace->record(obs::TraceEvent::kRotate,
+                       static_cast<std::int64_t>(now), we, rot_ns);
+    obs_.trace->record(obs::TraceEvent::kSeal, static_cast<std::int64_t>(now),
+                       we, duration_ns);
+  }
 }
 
 void HhhEngine::rotate_epoch() {
@@ -683,6 +894,7 @@ void HhhEngine::rotate_epoch() {
 
 WindowedEngineSnapshot HhhEngine::window_snapshot() {
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  const obs::ScopedTimer obs_t(obs_.snapshot_ns);
   std::unique_ptr<RhhhSpaceSaving> cur;
   std::unique_ptr<RhhhSpaceSaving> prev;
   EngineStats s;
@@ -712,6 +924,7 @@ WindowedEngineSnapshot HhhEngine::window_snapshot() {
 
 TrendSnapshot HhhEngine::trend_snapshot() {
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
+  const obs::ScopedTimer obs_t(obs_.trend_ns);
   std::unique_ptr<RhhhSpaceSaving> cur;
   EngineStats s;
   std::uint64_t cur_drops = 0;

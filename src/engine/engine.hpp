@@ -72,6 +72,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -85,6 +86,13 @@
 
 namespace rhhh::store {
 class WindowArchive;  // store/archive.hpp
+}
+
+namespace rhhh::obs {
+class MetricsRegistry;  // obs/metrics.hpp -- forward-declared so the
+class Gauge;            // engine header stays decoupled from the telemetry
+class Histogram;        // layer; all recording happens in engine.cpp.
+class TraceRing;        // obs/trace_ring.hpp
 }
 
 namespace rhhh {
@@ -284,6 +292,16 @@ class HhhEngine {
   std::uint64_t quiesced(Fn&& fn);
   /// rotate_epoch() body; caller must hold snap_mu_.
   void rotate_locked();
+  /// Register this engine's instruments (histograms, counter-mirror and
+  /// occupancy gauges) against cfg_.metrics / the global registry when
+  /// cfg_.telemetry is set; called once from the constructor. With
+  /// telemetry off every obs_ pointer stays null and the hot-path hooks
+  /// compile down to a pointer test (the ablation_obs_overhead baseline).
+  void bind_metrics();
+  /// Unregister the gauge_fn samplers that capture `this` (they must not
+  /// outlive the engine); registry-owned histograms/gauges stay, so
+  /// successive engines accumulate into the same cumulative families.
+  void unbind_metrics();
 
   EngineConfig cfg_;
   std::unique_ptr<Hierarchy> hierarchy_;
@@ -365,6 +383,25 @@ class HhhEngine {
   std::atomic<std::uint64_t> archived_windows_{0};
   std::atomic<std::uint64_t> archive_queue_drops_{0};
   std::atomic<std::uint64_t> archive_errors_{0};
+
+  // Always-on telemetry (src/obs/, EngineConfig::telemetry). Instruments
+  // are owned by the registry; these are cached lookups so the hot path
+  // records through a raw pointer (null = telemetry off). `owned` lists
+  // the gauge_fn names whose samplers capture `this` -- unbind_metrics()
+  // removes exactly those in the destructor.
+  struct Obs {
+    obs::MetricsRegistry* reg = nullptr;
+    obs::Histogram* push_ns = nullptr;        ///< producer batch push latency
+    obs::Histogram* pop_ns = nullptr;         ///< worker drain-pass latency
+    obs::Histogram* quiesce_ns = nullptr;     ///< request -> all-acked wait
+    obs::Histogram* rotation_ns = nullptr;    ///< full rotate_locked() cost
+    obs::Histogram* snapshot_ns = nullptr;    ///< snapshot/window merge time
+    obs::Histogram* trend_ns = nullptr;       ///< trend_snapshot merge time
+    obs::Gauge* archive_q_depth = nullptr;    ///< sealed windows queued
+    obs::TraceRing* trace = nullptr;          ///< global control-plane trace
+    std::vector<std::string> owned;           ///< gauge_fn names to unregister
+  };
+  Obs obs_;
 };
 
 }  // namespace rhhh

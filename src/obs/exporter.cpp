@@ -1,0 +1,201 @@
+#include "obs/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace rhhh::obs {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;   // stop() latency bound
+constexpr int kRequestPollMs = 500;  // per-request read patience
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.0 200 OK\r\n";
+    case 404: return "HTTP/1.0 404 Not Found\r\n";
+    default: return "HTTP/1.0 500 Internal Server Error\r\n";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to recover
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, int code, const std::string& content_type,
+             const std::string& body) {
+  std::string out = status_line(code);
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  send_all(fd, out);
+}
+
+/// Read until the header terminator (one request per connection; bodies are
+/// ignored -- every route is a GET).
+std::string read_request(int fd) {
+  std::string req;
+  char buf[2048];
+  struct pollfd pfd = {fd, POLLIN, 0};
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    if (::poll(&pfd, 1, kRequestPollMs) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  return req;
+}
+
+std::string request_path(const std::string& req) {
+  // "GET <path> HTTP/1.x"
+  if (req.rfind("GET ", 0) != 0) return {};
+  const std::size_t sp = req.find(' ', 4);
+  if (sp == std::string::npos) return {};
+  return req.substr(4, sp - 4);
+}
+
+std::string trace_json(const TraceRing& ring) {
+  const std::vector<TraceRecord> recs = ring.dump();
+  std::string out = "{\"recorded\":" + std::to_string(ring.recorded()) +
+                    ",\"capacity\":" + std::to_string(ring.capacity()) +
+                    ",\"events\":[";
+  bool first = true;
+  for (const TraceRecord& r : recs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(r.seq) +
+           ",\"ts_ns\":" + std::to_string(r.ts_ns) + ",\"event\":\"" +
+           to_string(r.event) + "\",\"arg0\":" + std::to_string(r.arg0) +
+           ",\"arg1\":" + std::to_string(r.arg1) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(MetricsRegistry& reg, TraceRing* trace)
+    : reg_(&reg), trace_(trace) {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::start(std::uint16_t port) {
+  // order: relaxed -- start/stop are caller-serialized; the flag only
+  // signals the serving thread and running() observers.
+  if (running_.load(std::memory_order_relaxed)) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("obs: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("obs: bind/listen failed: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  listen_fd_ = fd;
+  // order: relaxed -- published before the thread is constructed; the
+  // std::thread launch itself is the synchronization point.
+  port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsExporter::stop() {
+  // order: relaxed -- the serving thread re-checks this between polls; the
+  // join below is the real synchronization.
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // order: relaxed -- observational reset.
+  port_.store(0, std::memory_order_relaxed);
+}
+
+void MetricsExporter::serve_loop() {
+  struct pollfd pfd = {listen_fd_, POLLIN, 0};
+  // order: relaxed -- loop condition; stop() joins, so a stale true costs
+  // at most one extra poll timeout.
+  while (running_.load(std::memory_order_relaxed)) {
+    const int rc = ::poll(&pfd, 1, kAcceptPollMs);
+    if (rc <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string path = request_path(read_request(client));
+    // order: relaxed -- a statistic.
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    if (path == "/metrics") {
+      respond(client, 200, "text/plain; version=0.0.4",
+              reg_->render_prometheus());
+    } else if (path == "/metrics.json") {
+      respond(client, 200, "application/json", reg_->render_json());
+    } else if (path == "/trace" && trace_ != nullptr) {
+      respond(client, 200, "application/json", trace_json(*trace_));
+    } else if (path == "/healthz") {
+      respond(client, 200, "text/plain", "ok\n");
+    } else {
+      respond(client, 404, "text/plain", "not found\n");
+    }
+    ::close(client);
+  }
+}
+
+std::string http_get_local(std::uint16_t port, const std::string& path,
+                           int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  send_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  struct pollfd pfd = {fd, POLLIN, 0};
+  while (true) {
+    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace rhhh::obs

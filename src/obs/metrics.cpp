@@ -1,0 +1,291 @@
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace rhhh::obs {
+
+namespace {
+
+// `family` or `family{...}` with family matching
+// [a-zA-Z_:][a-zA-Z0-9_:]* -- the Prometheus metric-name grammar, with the
+// label block accepted opaquely (rendering just splices it back).
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  std::size_t i = 0;
+  const auto family_char = [](char c, bool first) {
+    const bool alpha = (std::isalpha(static_cast<unsigned char>(c)) != 0);
+    const bool digit = (std::isdigit(static_cast<unsigned char>(c)) != 0);
+    return alpha || c == '_' || c == ':' || (!first && digit);
+  };
+  if (!family_char(name[0], /*first=*/true)) return false;
+  for (i = 1; i < name.size() && name[i] != '{'; ++i) {
+    if (!family_char(name[i], /*first=*/false)) return false;
+  }
+  if (i == name.size()) return true;  // bare family
+  return name.back() == '}' && i + 1 < name.size();
+}
+
+std::string family_of(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// "" for a bare family, the inner `k="v",...` text otherwise.
+std::string labels_of(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {};
+  return name.substr(brace + 1, name.size() - brace - 2);
+}
+
+// family + optional suffix + merged label block (existing labels plus an
+// optional extra `k="v"` pair), Prometheus-style.
+std::string series(const std::string& family, const std::string& suffix,
+                   const std::string& labels, const std::string& extra) {
+  std::string out = family + suffix;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 1.0};
+
+}  // namespace
+
+LogHistogram Histogram::snapshot() const {
+  LogHistogram out;
+  for (const Slot& s : slots_) {
+    // order: relaxed -- statistic-only fold; tearing between a shard's
+    // buckets/count/sum just means a near-consistent cut, which scrape
+    // semantics accept. Sum is folded separately (n=0) because per-bucket
+    // totals aren't tracked, only the shard-wide sum.
+    for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+      const std::uint64_t n =
+          s.buckets[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+      if (n != 0) out.add_bucketed(b, n, 0);
+    }
+    // order: relaxed -- same statistic-only fold as above.
+    out.add_bucketed(0, 0, s.sum.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry g;
+  return g;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::intern(const std::string& name,
+                                                 Kind kind,
+                                                 const std::string& help) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  std::unique_ptr<Metric>& slot = metrics_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Metric>();
+    slot->kind = kind;
+    slot->help = help;
+    switch (kind) {
+      case Kind::kCounter: slot->counter.reset(new Counter()); break;
+      case Kind::kGauge: slot->gauge.reset(new Gauge()); break;
+      case Kind::kHistogram: slot->histogram.reset(new Histogram()); break;
+      case Kind::kGaugeFn: break;  // caller installs fn
+    }
+  } else if (slot->kind != kind) {
+    throw std::invalid_argument("obs: metric '" + name +
+                                "' re-registered with a different kind");
+  }
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return *intern(name, Kind::kCounter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return *intern(name, Kind::kGauge, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return *intern(name, Kind::kHistogram, help).histogram;
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               std::function<double()> fn,
+                               const std::string& help) {
+  if (!fn) throw std::invalid_argument("obs: gauge_fn '" + name + "' is empty");
+  const std::lock_guard<std::mutex> lk(mu_);
+  Metric& m = intern(name, Kind::kGaugeFn, help);
+  m.fn = std::move(fn);  // last writer wins (documented)
+}
+
+bool MetricsRegistry::unregister(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return metrics_.erase(name) != 0;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return metrics_.size();
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return metrics_.count(name) != 0;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0.0;
+  const Metric& m = *it->second;
+  switch (m.kind) {
+    case Kind::kCounter: return static_cast<double>(m.counter->value());
+    case Kind::kGauge: return static_cast<double>(m.gauge->value());
+    case Kind::kGaugeFn: return m.fn ? m.fn() : 0.0;
+    case Kind::kHistogram: return static_cast<double>(m.histogram->count());
+  }
+  return 0.0;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  out.reserve(4096);
+  std::string typed_family;  // map is sorted: one TYPE block per family run
+  for (const auto& [name, m] : metrics_) {
+    const std::string family = family_of(name);
+    const std::string labels = labels_of(name);
+    if (family != typed_family) {
+      typed_family = family;
+      if (!m->help.empty()) {
+        out += "# HELP " + family + " " + m->help + "\n";
+      }
+      const char* type = "gauge";
+      if (m->kind == Kind::kCounter) type = "counter";
+      if (m->kind == Kind::kHistogram) type = "summary";
+      out += "# TYPE " + family + " " + type + "\n";
+    }
+    switch (m->kind) {
+      case Kind::kCounter:
+        out += series(family, "", labels, "") + " " +
+               std::to_string(m->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += series(family, "", labels, "") + " " +
+               std::to_string(m->gauge->value()) + "\n";
+        break;
+      case Kind::kGaugeFn:
+        out += series(family, "", labels, "") + " " +
+               fmt_double(m->fn ? m->fn() : 0.0) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram h = m->histogram->snapshot();
+        for (const double q : kQuantiles) {
+          out += series(family, "", labels,
+                        "quantile=\"" + fmt_double(q) + "\"") +
+                 " " + std::to_string(h.quantile(q)) + "\n";
+        }
+        out += series(family, "_sum", labels, "") + " " +
+               fmt_double(h.mean() * static_cast<double>(h.count())) + "\n";
+        out += series(family, "_count", labels, "") + " " +
+               std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(name) + "\",";
+    if (!m->help.empty()) out += "\"help\":\"" + json_escape(m->help) + "\",";
+    switch (m->kind) {
+      case Kind::kCounter:
+        out += "\"kind\":\"counter\",\"value\":" +
+               std::to_string(m->counter->value());
+        break;
+      case Kind::kGauge:
+        out += "\"kind\":\"gauge\",\"value\":" +
+               std::to_string(m->gauge->value());
+        break;
+      case Kind::kGaugeFn:
+        out += "\"kind\":\"gauge\",\"value\":" + fmt_double(m->fn ? m->fn() : 0.0);
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram h = m->histogram->snapshot();
+        out += "\"kind\":\"histogram\",\"count\":" + std::to_string(h.count()) +
+               ",\"sum\":" + fmt_double(h.mean() * static_cast<double>(h.count())) +
+               ",\"min\":" + std::to_string(h.min()) +
+               ",\"max\":" + std::to_string(h.max()) + ",\"quantiles\":{";
+        bool qfirst = true;
+        for (const double q : kQuantiles) {
+          if (!qfirst) out += ',';
+          qfirst = false;
+          // Appends, not `"literal" + std::string`: GCC 12 -Wrestrict
+          // false positive (PR105329) fires on the latter at -O3.
+          out += '"';
+          out += fmt_double(q);
+          out += "\":";
+          out += std::to_string(h.quantile(q));
+        }
+        out += "}";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rhhh::obs

@@ -1,0 +1,262 @@
+// Always-on telemetry: a process-wide registry of named counters, gauges
+// and log-scale latency histograms, cheap enough to record on the packet
+// path (a relaxed atomic add into a per-thread-sharded slot) and aggregated
+// only at scrape time (render_prometheus / render_json, or the TCP exporter
+// in obs/exporter.hpp).
+//
+// Hot-path contract: Counter::add, Gauge::set/add and Histogram::record are
+// wait-free, allocation-free and lock-free; the registry mutex is touched
+// only on (idempotent) registration and on scrape. Instruments are owned by
+// their registry and never move, so call sites cache the reference once and
+// record through it forever. `gauge_fn` samplers run under the registry
+// mutex during a scrape -- they must be lock-free reads of atomics (all
+// in-tree samplers are) or they can deadlock a scrape against control ops.
+//
+// src/obs/ is NOT a hot-path-lint directory: headers here may use <mutex>;
+// nothing under src/core|hh|hhh|util may include this file (the engine's
+// config only forward-declares MetricsRegistry).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "stats/histogram.hpp"
+
+namespace rhhh::obs {
+
+// Destructive-interference padding for the sharded slots (mirrors
+// rhhh::kCacheLine in util/spsc_ring.hpp without pulling the ring in).
+inline constexpr std::size_t kObsCacheLine = 64;
+
+/// Small cheap per-thread shard index: threads hash onto one of N slots so
+/// concurrent recorders usually touch distinct cache lines. Collisions are
+/// benign (just contended adds), so N stays small and fixed.
+[[nodiscard]] inline std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  // order: relaxed -- a once-per-thread round-robin ticket; only uniqueness
+  // of the returned value matters, no other state is published through it.
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// Monotonic nanosecond clock for latency measurements (steady_clock, so
+/// intervals survive wall-clock adjustment).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic counter, sharded over kSlots cache lines so concurrent
+/// hot-path increments don't bounce one line. value() sums the shards --
+/// monotone but not a consistent cut (standard for scrape-time counters).
+class Counter {
+ public:
+  static constexpr std::size_t kSlots = 16;
+  static_assert((kSlots & (kSlots - 1)) == 0, "slot mask needs a power of 2");
+
+  void add(std::uint64_t n) noexcept {
+    // order: relaxed -- a pure statistic; nothing is published through it
+    // and scrape-time sums tolerate (bounded) staleness.
+    slots_[thread_slot() & (kSlots - 1)].v.fetch_add(n,
+                                                     std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) {
+      // order: relaxed -- same statistic-only contract as add().
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(kObsCacheLine) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Point-in-time signed value (queue depth, occupancy). Single atomic: set
+/// and add are rare relative to counter increments, so no sharding.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    // order: relaxed -- last-writer-wins sample; readers want "a recent
+    // value", not an ordering edge.
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    // order: relaxed -- same sample-only contract as set().
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    // order: relaxed -- scrape reads a recent sample, no synchronization.
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Latency histogram: per-thread-sharded atomic buckets with LogHistogram's
+/// log-scale bucketing done inline on the recording thread. record() is two
+/// relaxed adds plus a bucket add; snapshot() folds every shard into a
+/// plain LogHistogram for quantile queries. Cumulative (never reset by
+/// scrapes), so concurrent scrapers are read-only.
+class Histogram {
+ public:
+  static constexpr std::size_t kSlots = 8;
+  static_assert((kSlots & (kSlots - 1)) == 0, "slot mask needs a power of 2");
+
+  void record(std::uint64_t v) noexcept {
+    Slot& s = slots_[thread_slot() & (kSlots - 1)];
+    const auto b = static_cast<std::size_t>(LogHistogram::bucket_index(v));
+    // order: relaxed -- pure statistics (bucket count, sample count, sum);
+    // scrape-time folds tolerate tearing between the three adds.
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Record a steady_clock interval that started at `t0 = now_ns()`.
+  void record_since(std::uint64_t t0_ns) noexcept {
+    const std::uint64_t now = now_ns();
+    record(now >= t0_ns ? now - t0_ns : 0);
+  }
+
+  /// Fold all shards into one queryable LogHistogram. Concurrent recorders
+  /// keep running; the result is a near-consistent cut (count/sum/buckets
+  /// may disagree by in-flight samples).
+  [[nodiscard]] LogHistogram snapshot() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) {
+      // order: relaxed -- statistic-only, same as record().
+      total += s.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+
+  struct Slot {
+    alignas(kObsCacheLine) std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, LogHistogram::kBuckets> buckets{};
+  };
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// RAII latency probe: records the enclosing scope's duration (ns) into a
+/// histogram, or nothing when the histogram is null (telemetry off).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) noexcept
+      : h_(h), t0_(h != nullptr ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->record_since(t0_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t t0_;
+};
+
+/// Named instrument registry. Names follow Prometheus conventions --
+/// `family` or `family{label="v",...}` with family matching
+/// [a-zA-Z_:][a-zA-Z0-9_:]* -- and registration is idempotent: asking for
+/// an existing name returns the existing instrument (and throws
+/// std::invalid_argument on a kind mismatch or malformed name, the runtime
+/// backstop behind scripts/lint_invariants.py's call-site rule).
+///
+/// Instruments live until unregister()d; references returned by
+/// counter()/gauge()/histogram() are stable (unique_ptr-backed) for the
+/// instrument's lifetime. gauge_fn() registers a callback sampled at scrape
+/// time -- re-registering a name replaces the sampler (last writer wins),
+/// and owners that capture `this` MUST unregister before destruction.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide default registry (what `metrics == nullptr` configs
+  /// resolve to).
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+  void gauge_fn(const std::string& name, std::function<double()> fn,
+                const std::string& help = "");
+
+  /// Remove an instrument; returns false when the name wasn't registered.
+  bool unregister(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Current numeric value of a registered instrument (counter total, gauge
+  /// value, sampled gauge_fn, histogram sample count); 0 for unknown names.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// Prometheus text exposition (version 0.0.4). Histograms render as
+  /// summaries: quantile-labelled series plus _count/_sum.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// JSON exposition: {"metrics":[{name,help?,kind,value|...},...]}.
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kGaugeFn, kHistogram };
+
+  struct Metric {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> fn;
+  };
+
+  Metric& intern(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace rhhh::obs

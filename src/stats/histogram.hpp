@@ -54,6 +54,36 @@ class LogHistogram {
     min_ = 0;
   }
 
+  /// Synonym for clear(): the name the telemetry layer's scrape-and-reset
+  /// aggregation cycle uses (obs::Histogram drains per-thread shards into a
+  /// fresh instance per scrape).
+  void reset() noexcept { clear(); }
+
+  /// Raw bucket index a value lands in (exposed for the telemetry shards,
+  /// which bucket on the hot path and fold counts at scrape time).
+  [[nodiscard]] static int bucket_index(std::uint64_t v) noexcept {
+    return bucket_of(v);
+  }
+  /// Upper edge of raw bucket `b` (the value quantile() would report).
+  [[nodiscard]] static std::uint64_t bucket_upper(int b) noexcept {
+    return upper_edge(b);
+  }
+
+  /// Fold a pre-bucketed batch: `n` samples that landed in raw bucket `b`
+  /// (as produced by bucket_index) whose values summed to `total`. min/max
+  /// are tracked at bucket-edge resolution (exact for values < 16, within
+  /// ~6% otherwise -- the same resolution quantile() already has). `n` may
+  /// be 0 to fold only a sum contribution.
+  void add_bucketed(int b, std::uint64_t n, std::uint64_t total) noexcept {
+    sum_ += total;
+    if (n == 0) return;
+    buckets_[static_cast<std::size_t>(b)] += n;
+    const std::uint64_t edge = upper_edge(b);
+    if (count_ == 0 || edge < min_) min_ = edge;
+    if (edge > max_) max_ = edge;
+    count_ += n;
+  }
+
   /// Merge another histogram (distributed collection).
   void merge(const LogHistogram& other) noexcept {
     for (int b = 0; b < kBuckets; ++b) {

@@ -9,6 +9,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "util/bits.hpp"
 
 namespace rhhh::store {
@@ -66,6 +68,35 @@ WindowArchive::WindowArchive(ArchiveConfig cfg, bool writable)
     fail(cfg_.dir + ": store directory does not exist");
   }
   load_catalog();
+  bind_metrics();
+}
+
+void WindowArchive::bind_metrics() {
+  if (!writable_ || !cfg_.telemetry) return;
+  obs::MetricsRegistry& reg =
+      cfg_.metrics != nullptr ? *cfg_.metrics : obs::MetricsRegistry::global();
+  m_bytes_ = &reg.counter("rhhh_store_bytes_written_total",
+                          "window record bytes appended (frames included)");
+  m_rolls_ = &reg.counter("rhhh_store_segment_rolls_total",
+                          "segments sealed by size/age roll or close");
+  m_append_ns_ = &reg.histogram("rhhh_store_append_ns",
+                                "per-window append latency (ns)");
+  m_fsync_ns_ =
+      &reg.histogram("rhhh_store_fsync_ns", "segment fsync latency (ns)");
+  m_compact_ns_ =
+      &reg.histogram("rhhh_store_compact_ns", "compaction pass latency (ns)");
+  m_segments_ = &reg.gauge("rhhh_store_segments", "segments in the store");
+  m_windows_ = &reg.gauge("rhhh_store_windows", "windows in the store");
+  m_total_bytes_ = &reg.gauge("rhhh_store_bytes", "store footprint in bytes");
+  m_trace_ = &obs::TraceRing::global();
+  update_gauges();
+}
+
+void WindowArchive::update_gauges() {
+  if (m_segments_ == nullptr) return;
+  m_segments_->set(static_cast<std::int64_t>(segments()));
+  m_windows_->set(static_cast<std::int64_t>(windows()));
+  m_total_bytes_->set(static_cast<std::int64_t>(total_bytes()));
 }
 
 WindowArchive::~WindowArchive() {
@@ -161,30 +192,45 @@ void WindowArchive::roll_if_due(std::int64_t next_wall_start_ns,
     roll = true;
   }
   if (!roll) return;
+  const std::uint64_t closed_bytes = writer_->bytes_written();
   writer_->seal();
   seg_bytes_.back() = writer_->bytes_written();
   fsyncs_sealed_ += writer_->fsyncs();
   writer_.reset();
   if (cfg_.retain_bytes > 0) apply_retention(cfg_.retain_bytes);
+  if (m_rolls_ != nullptr) {
+    m_rolls_->inc();
+    m_trace_->record(obs::TraceEvent::kSegmentRoll,
+                     static_cast<std::int64_t>(obs::now_ns()), next_seg_no_,
+                     closed_bytes);
+  }
 }
 
 void WindowArchive::append(const WindowMeta& meta, HierarchyKind kind,
                            const RhhhSpaceSaving& w) {
   if (!writable_) fail("append on a read-only archive");
   ensure_hierarchy(kind);
+  const std::uint64_t obs_t0 = m_append_ns_ != nullptr ? obs::now_ns() : 0;
   const Bytes payload = encode_window(meta, kind, w);
   roll_if_due(meta.wall_start_ns, payload.size());
   if (writer_ == nullptr) {
     const std::string path =
         (fs::path(cfg_.dir) / segment_name(next_seg_no_++)).string();
     writer_ = std::make_unique<SegmentWriter>(path, cfg_.fsync_mode, run_id_);
+    writer_->set_fsync_probe(m_fsync_ns_);
     seg_paths_.push_back(path);
     seg_run_ids_.push_back(run_id_);
     seg_bytes_.push_back(writer_->bytes_written());
   }
+  const std::uint64_t before = writer_->bytes_written();
   const SegmentIndexEntry rec =
       writer_->append(payload, meta.epoch, meta.wall_start_ns, meta.wall_end_ns);
   catalog_.push_back(Entry{seg_paths_.size() - 1, rec});
+  if (m_append_ns_ != nullptr) {
+    m_append_ns_->record_since(obs_t0);
+    m_bytes_->add(writer_->bytes_written() - before);
+    update_gauges();
+  }
 }
 
 void WindowArchive::close() {
@@ -194,6 +240,10 @@ void WindowArchive::close() {
   fsyncs_sealed_ += writer_->fsyncs();
   writer_.reset();
   if (cfg_.retain_bytes > 0) apply_retention(cfg_.retain_bytes);
+  if (m_rolls_ != nullptr) {
+    m_rolls_->inc();
+    update_gauges();
+  }
 }
 
 std::uint64_t WindowArchive::fsyncs() const noexcept {
@@ -311,6 +361,7 @@ bool WindowArchive::Replay::next(ArchivedWindow& out) {
 
 std::size_t WindowArchive::compact(std::uint64_t retain_bytes) {
   if (writer_ != nullptr) fail("compact while a segment is open for writing");
+  const std::uint64_t obs_t0 = m_compact_ns_ != nullptr ? obs::now_ns() : 0;
   // Repair pass: rewrite every torn segment as a sealed one (the valid
   // record prefix survives, the unreadable tail is dropped for good).
   for (std::size_t s = 0; s < seg_paths_.size(); ++s) {
@@ -336,7 +387,16 @@ std::size_t WindowArchive::compact(std::uint64_t retain_bytes) {
 
   const std::size_t before = seg_paths_.size();
   if (retain_bytes > 0) apply_retention(retain_bytes);
-  return before - seg_paths_.size();
+  const std::size_t deleted = before - seg_paths_.size();
+  if (m_compact_ns_ != nullptr) {
+    const std::uint64_t now = obs::now_ns();
+    const std::uint64_t dur = now >= obs_t0 ? now - obs_t0 : 0;
+    m_compact_ns_->record(dur);
+    m_trace_->record(obs::TraceEvent::kCompaction,
+                     static_cast<std::int64_t>(now), deleted, dur);
+    update_gauges();
+  }
+  return deleted;
 }
 
 }  // namespace rhhh::store

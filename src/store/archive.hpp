@@ -34,6 +34,13 @@
 #include "store/segment.hpp"
 #include "store/serde.hpp"
 
+namespace rhhh::obs {
+class Counter;    // obs/metrics.hpp -- forward-declared; the archive holds
+class Gauge;      // raw pointers to registry-owned instruments so it stays
+class Histogram;  // movable (no `this`-capturing samplers; see bind_metrics
+class TraceRing;  // in archive.cpp).
+}
+
 namespace rhhh::store {
 
 /// One decoded window: metadata plus a lattice that answers
@@ -150,6 +157,12 @@ class WindowArchive {
   };
 
   WindowArchive(ArchiveConfig cfg, bool writable);
+  /// Cache registry-owned instruments (ArchiveConfig::telemetry, writable
+  /// archives only) and refresh the point-in-time gauges. All pointers are
+  /// plain data: moving the archive moves them safely, and nothing needs
+  /// unregistering on destruction.
+  void bind_metrics();
+  void update_gauges();
   void load_catalog();
   void ensure_hierarchy(HierarchyKind kind);
   void roll_if_due(std::int64_t next_wall_start_ns, std::size_t next_payload);
@@ -172,6 +185,18 @@ class WindowArchive {
   bool have_kind_ = false;
   std::unique_ptr<SegmentWriter> writer_;
   std::uint64_t next_seg_no_ = 1;
+
+  // Telemetry (null when off or read-only): registry-owned instruments,
+  // cached once in bind_metrics().
+  obs::Counter* m_bytes_ = nullptr;        ///< payload+frame bytes appended
+  obs::Counter* m_rolls_ = nullptr;        ///< segments sealed by roll/close
+  obs::Histogram* m_append_ns_ = nullptr;  ///< per-window append latency
+  obs::Histogram* m_fsync_ns_ = nullptr;   ///< attached to segment writers
+  obs::Histogram* m_compact_ns_ = nullptr; ///< compact() latency
+  obs::Gauge* m_segments_ = nullptr;       ///< point-in-time segment count
+  obs::Gauge* m_windows_ = nullptr;        ///< point-in-time window count
+  obs::Gauge* m_total_bytes_ = nullptr;    ///< point-in-time store bytes
+  obs::TraceRing* m_trace_ = nullptr;      ///< roll/compaction events
 };
 
 }  // namespace rhhh::store

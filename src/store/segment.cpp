@@ -1,5 +1,7 @@
 #include "store/segment.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <limits>
@@ -118,8 +120,10 @@ SegmentWriter::SegmentWriter(std::string path, FsyncMode fsync,
 
 void SegmentWriter::sync_now() {
 #if defined(__unix__) || defined(__APPLE__)
+  const std::uint64_t t0 = fsync_probe_ != nullptr ? obs::now_ns() : 0;
   if (::fsync(fileno(f_)) != 0) fail(path_, "fsync failed");
   ++fsyncs_;
+  if (fsync_probe_ != nullptr) fsync_probe_->record_since(t0);
 #endif
   // No fsync equivalent wired up elsewhere: the mode degrades to the
   // per-record fflush the writer always performs.

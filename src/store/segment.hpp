@@ -27,6 +27,10 @@
 #include "core/monitor.hpp"
 #include "store/serde.hpp"
 
+namespace rhhh::obs {
+class Histogram;  // obs/metrics.hpp (optional fsync latency probe)
+}
+
 namespace rhhh::store {
 
 /// One record's position and query-relevant metadata inside a segment --
@@ -86,6 +90,11 @@ class SegmentWriter {
   /// knob's observable effect).
   [[nodiscard]] std::uint64_t fsyncs() const noexcept { return fsyncs_; }
 
+  /// Attach a latency histogram that every fsync() duration is recorded
+  /// into (telemetry; null detaches). The histogram must outlive the
+  /// writer -- registry-owned instruments do.
+  void set_fsync_probe(obs::Histogram* h) noexcept { fsync_probe_ = h; }
+
   /// Writes the footer index + trailer and closes the file. Idempotent;
   /// also run by the destructor (which swallows errors -- call seal()
   /// explicitly when you need them).
@@ -101,6 +110,7 @@ class SegmentWriter {
   FsyncMode fsync_ = FsyncMode::kNone;
   std::uint64_t run_id_ = 0;
   std::uint64_t fsyncs_ = 0;
+  obs::Histogram* fsync_probe_ = nullptr;  ///< registry-owned, optional
 };
 
 /// Opens a segment for reading: through the footer when sealed, by forward

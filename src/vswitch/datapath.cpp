@@ -1,9 +1,23 @@
 #include "vswitch/datapath.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace rhhh {
 
 Datapath::Datapath(DatapathConfig cfg)
-    : emc_(cfg.emc_capacity), default_action_(cfg.default_action) {}
+    : emc_(cfg.emc_capacity), default_action_(cfg.default_action) {
+  if (cfg.telemetry) {
+    obs::MetricsRegistry& reg = cfg.metrics != nullptr
+                                    ? *cfg.metrics
+                                    : obs::MetricsRegistry::global();
+    m_emc_hits_ = &reg.counter("rhhh_vswitch_emc_hits_total",
+                               "exact-match cache hits");
+    m_megaflow_hits_ = &reg.counter("rhhh_vswitch_megaflow_hits_total",
+                                    "megaflow classifier hits");
+    m_upcalls_ = &reg.counter("rhhh_vswitch_upcalls_total",
+                              "slow-path upcalls (cache + classifier miss)");
+  }
+}
 
 Action Datapath::process(const PacketRecord& p) {
   ++stats_.received;
@@ -13,15 +27,18 @@ Action Datapath::process(const PacketRecord& p) {
   Action action;
   if (const Action* a = emc_.lookup(t)) {
     ++stats_.emc_hits;
+    if (m_emc_hits_ != nullptr) m_emc_hits_->inc();
     action = *a;
   } else if (const Action* m = megaflow_.lookup(t)) {
     ++stats_.megaflow_hits;
+    if (m_megaflow_hits_ != nullptr) m_megaflow_hits_->inc();
     action = *m;
     emc_.insert(t, action);
   } else {
     // In OVS this is the upcall path; we apply the configured default and
     // install it so the flow stays on the fast path.
     ++stats_.misses;
+    if (m_upcalls_ != nullptr) m_upcalls_->inc();
     action = default_action_;
     emc_.insert(t, action);
   }

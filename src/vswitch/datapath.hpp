@@ -16,6 +16,11 @@
 
 namespace rhhh {
 
+namespace obs {
+class Counter;          // obs/metrics.hpp -- forward-declared; counters are
+class MetricsRegistry;  // bound in datapath.cpp when telemetry is on.
+}  // namespace obs
+
 /// Per-packet measurement callback attached to the datapath.
 class MeasurementHook {
  public:
@@ -40,6 +45,12 @@ class HhhHook final : public MeasurementHook {
 struct DatapathConfig {
   std::size_t emc_capacity = 8192;
   Action default_action = Action::output(1);  ///< applied on classifier miss
+  /// Always-on telemetry (src/obs/): process-wide EMC-hit / megaflow-hit /
+  /// upcall counters registered against `metrics` (the global registry when
+  /// null). One sharded relaxed-atomic add per packet; set false for the
+  /// uninstrumented baseline.
+  bool telemetry = true;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Datapath {
@@ -77,6 +88,11 @@ class Datapath {
   MeasurementHook* hook_ = nullptr;
   Action default_action_;
   Stats stats_{};
+  // Registry-owned process-wide counters (null = telemetry off); several
+  // datapaths accumulate into the same families.
+  obs::Counter* m_emc_hits_ = nullptr;
+  obs::Counter* m_megaflow_hits_ = nullptr;
+  obs::Counter* m_upcalls_ = nullptr;
 };
 
 }  // namespace rhhh

@@ -306,6 +306,62 @@ TEST(LogHistogramTest, ClearResets) {
   EXPECT_EQ(h.quantile(0.5), 0u);
 }
 
+TEST(LogHistogramTest, ResetIsClearSynonym) {
+  LogHistogram h;
+  h.add(42);
+  h.add(7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.add(5);  // usable again after reset
+  EXPECT_EQ(h.quantile(1.0), 5u);
+}
+
+TEST(LogHistogramTest, BucketIndexMatchesAddPlacement) {
+  // add(v) then quantile must report exactly bucket_upper(bucket_index(v)):
+  // the static helpers expose the same bucketing the instance uses.
+  for (const std::uint64_t v :
+       {0ull, 1ull, 15ull, 16ull, 17ull, 1000ull, 123456789ull}) {
+    LogHistogram h;
+    h.add(v);
+    EXPECT_EQ(h.quantile(0.5), LogHistogram::bucket_upper(
+                                   LogHistogram::bucket_index(v)))
+        << "v=" << v;
+  }
+  // Small values are exact; bucket edges are monotone in v.
+  EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::bucket_index(7)), 7u);
+  EXPECT_LE(LogHistogram::bucket_index(100), LogHistogram::bucket_index(1000));
+}
+
+TEST(LogHistogramTest, AddBucketedFoldsLikeAdd) {
+  // Folding pre-bucketed shard data must agree with direct adds up to the
+  // bucket-edge resolution min/max carries (exact below 16).
+  LogHistogram direct;
+  LogHistogram folded;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : {3ull, 3ull, 500ull, 70000ull}) {
+    direct.add(v);
+    folded.add_bucketed(LogHistogram::bucket_index(v), 1, 0);
+    sum += v;
+  }
+  folded.add_bucketed(0, 0, sum);  // n == 0 folds only the sum contribution
+  EXPECT_EQ(folded.count(), direct.count());
+  EXPECT_DOUBLE_EQ(folded.mean(), direct.mean());
+  EXPECT_EQ(folded.min(), 3u) << "min is exact for small values";
+  EXPECT_EQ(folded.quantile(0.5), direct.quantile(0.5));
+  // quantile(1.0) returns max_: exact on direct adds, bucket-edge on folds.
+  EXPECT_GE(folded.max(), 70000u);
+  EXPECT_LE(static_cast<double>(folded.max()), 70000.0 * 1.07);
+  // A fold into a merge()d result stays consistent too.
+  LogHistogram merged;
+  merged.merge(folded);
+  merged.merge(direct);
+  EXPECT_EQ(merged.count(), 8u);
+  EXPECT_EQ(merged.min(), 3u);
+}
+
 // ----------------------------------------------------- validators (stress) ----
 
 TEST(Validators, SpaceSavingUnderRandomOps) {

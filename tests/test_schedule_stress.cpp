@@ -21,6 +21,8 @@
 #include "core/monitor.hpp"
 #include "engine/engine.hpp"
 #include "net/ipv4.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "store/archive.hpp"
 #include "util/random.hpp"
 #include "util/spsc_ring.hpp"
@@ -378,6 +380,121 @@ TEST(ShutdownEdges, ArchiveQueueDrainedExactlyOnce) {
     EXPECT_EQ(s2.archived_windows, s.archived_windows);
     EXPECT_EQ(s2.archive_queue_drops, s.archive_queue_drops);
   }  // destructor: one more stop() on the torn-down engine
+}
+
+// ------------------------------------------------------------- telemetry --
+
+// Conservation at every scrape: with the engine's gauge_fns sampled in the
+// order consumed, dropped, offered (each strictly before the next), the
+// identity `offered >= consumed + dropped` must hold at any instant --
+// offered is published before the ring push, consumption counted after the
+// pop -- and the slack is bounded by what can be in flight (per-worker
+// batches mid-push plus ring occupancy). Rotations and Prometheus renders
+// run concurrently as chaos; after stop() the identity is exact.
+TEST(ScheduleStress, MetricsConservationUnderChaos) {
+  obs::MetricsRegistry reg;
+  EngineConfig cfg = small_engine(2, 2);
+  cfg.metrics = &reg;
+  HhhEngine eng(cfg);
+  eng.start();
+
+  constexpr std::uint64_t kPerProducer = 60'000;
+  std::vector<std::thread> producers;
+  producers.reserve(2);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    producers.emplace_back(
+        [&, p] { ingest_stream(eng, p, kPerProducer, 500 + p); });
+  }
+  std::thread rotator([&] {
+    for (int i = 0; i < 15; ++i) {
+      eng.rotate_epoch();
+      std::this_thread::yield();
+    }
+  });
+
+  // The in-flight bound: every worker ring full plus one mid-push batch per
+  // (producer, worker) pair whose offered count is published already.
+  const std::uint64_t in_flight_cap =
+      static_cast<std::uint64_t>(cfg.producers) * cfg.workers *
+      (cfg.ring_capacity + cfg.batch);
+  for (int scrape = 0; scrape < 300; ++scrape) {
+    const auto consumed =
+        static_cast<std::uint64_t>(reg.value("rhhh_engine_consumed"));
+    const auto dropped =
+        static_cast<std::uint64_t>(reg.value("rhhh_engine_dropped"));
+    const auto offered =
+        static_cast<std::uint64_t>(reg.value("rhhh_engine_offered"));
+    ASSERT_GE(offered, consumed + dropped)
+        << "conservation violated at scrape " << scrape;
+    EXPECT_LE(offered - consumed - dropped, in_flight_cap)
+        << "more in flight than the rings and batches can hold";
+    if ((scrape & 31) == 0) {
+      const std::string text = reg.render_prometheus();
+      EXPECT_NE(text.find("rhhh_engine_offered"), std::string::npos);
+    }
+    std::this_thread::yield();
+  }
+
+  for (std::thread& t : producers) t.join();
+  rotator.join();
+  eng.stop();
+
+  // Quiesced: the identity is exact and matches the engine's own stats.
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("rhhh_engine_offered")),
+            2 * kPerProducer);
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("rhhh_engine_consumed")) +
+                static_cast<std::uint64_t>(reg.value("rhhh_engine_dropped")),
+            s.offered);
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.value("rhhh_engine_epochs")),
+            s.epochs);
+}
+
+// TraceRing under concurrent writers and a dumping reader: every dump must
+// be strictly seq-ordered, never exceed capacity, and never contain a torn
+// payload (arg1 is derived from arg0, so a slot mixing two generations is
+// detectable). Runs under the TSan CI job via the stress label.
+TEST(ScheduleStress, TraceRingConcurrentWrapAndDump) {
+  obs::TraceRing ring(64);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t tag = (static_cast<std::uint64_t>(w) << 32) | i;
+        ring.record(obs::TraceEvent::kSeal, static_cast<std::int64_t>(i), tag,
+                    tag ^ 0xA5A5A5A5ull);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<obs::TraceRecord> d = ring.dump();
+      EXPECT_LE(d.size(), ring.capacity());
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        if (i > 0) {
+          EXPECT_GT(d[i].seq, d[i - 1].seq) << "dump must be seq-ordered";
+        }
+        EXPECT_EQ(d[i].arg1, d[i].arg0 ^ 0xA5A5A5A5ull)
+            << "torn slot survived the ticket validation";
+        EXPECT_EQ(d[i].event, obs::TraceEvent::kSeal);
+      }
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(ring.recorded(), kWriters * kPerWriter);
+  const std::vector<obs::TraceRecord> final_dump = ring.dump();
+  EXPECT_EQ(final_dump.size(), ring.capacity())
+      << "a quiesced over-full ring dumps exactly the newest capacity events";
+  EXPECT_EQ(final_dump.back().seq, kWriters * kPerWriter - 1);
 }
 
 }  // namespace
