@@ -174,6 +174,9 @@ void HhhEngine::bind_metrics() {
       "rhhh_engine_quiesce_ns", "epoch boundary request->all-acked wait (ns)");
   obs_.rotation_ns =
       &reg.histogram("rhhh_engine_rotation_ns", "window rotation cost (ns)");
+  obs_.rotation_drift_ns = &reg.histogram(
+      "rhhh_engine_rotation_drift_ns",
+      "budget-spent to rotation-start drift (ns, budget-driven rotations)");
   obs_.snapshot_ns = &reg.histogram("rhhh_engine_snapshot_merge_ns",
                                     "snapshot/window_snapshot merge time (ns)");
   obs_.trend_ns = &reg.histogram("rhhh_engine_trend_merge_ns",
@@ -260,6 +263,20 @@ void HhhEngine::bind_metrics() {
             archive_errors_.load(std::memory_order_relaxed));
       },
       "windows lost to archive I/O errors");
+  own("rhhh_engine_budget_rotations",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            budget_rotations_.load(std::memory_order_relaxed));
+      },
+      "budget-driven rotations (the drift-metered subset)");
+  own("rhhh_engine_late_rotations",
+      [this] {
+        // order: relaxed -- statistic sampled at scrape time.
+        return static_cast<double>(
+            late_rotations_.load(std::memory_order_relaxed));
+      },
+      "budget rotations later than the 200us fallback timeslice");
   own("rhhh_engine_trend_cache_hits",
       [this] {
         // order: relaxed -- statistic sampled at scrape time.
@@ -315,17 +332,33 @@ void HhhEngine::start() {
   // thread, but producer handles may be polled from threads start() never
   // spawned).
   running_.store(true, std::memory_order_release);
+  if (windowed()) {
+    // Reset the whole budget state BEFORE any worker thread exists: workers
+    // meter the budget from their first batch, and a previous run may have
+    // left a spent countdown or -- if stop() joined a worker mid-claim --
+    // a set epoch-due token behind.
+    // order: relaxed x5 -- read by the worker/clock threads created below;
+    // std::thread creation is the happens-before edge, not these atomics.
+    const std::int64_t now_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    win_started_ns_.store(now_ns, std::memory_order_relaxed);
+    epoch_budget_left_.store(static_cast<std::int64_t>(cfg_.epoch_packets),
+                             std::memory_order_relaxed);
+    epoch_deadline_ns_.store(
+        cfg_.epoch_millis > 0
+            ? now_ns + static_cast<std::int64_t>(cfg_.epoch_millis) * 1'000'000
+            : 0,
+        std::memory_order_relaxed);
+    // order: relaxed x2 -- same thread-creation hand-off as above.
+    budget_spent_ns_.store(0, std::memory_order_relaxed);
+    epoch_due_.store(false, std::memory_order_relaxed);
+  }
   for (std::uint32_t w = 0; w < workers(); ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
   }
   if (windowed()) {
-    // order: relaxed x3 -- budget bases and the generation token are read by
-    // the clock thread created two lines down; std::thread creation is the
-    // happens-before edge, not these atomics.
-    win_started_ns_.store(
-        std::chrono::steady_clock::now().time_since_epoch().count(),
-        std::memory_order_relaxed);
-    win_processed_base_.store(processed_total(), std::memory_order_relaxed);
+    // order: relaxed -- the generation token is read by the clock thread
+    // created on the next line; thread creation is the happens-before edge.
     const std::uint64_t gen = clock_gen_.load(std::memory_order_relaxed);
     clock_thread_ = std::thread([this, gen] { clock_loop(gen); });
   }
@@ -579,8 +612,42 @@ void HhhEngine::worker_loop(std::uint32_t w) {
   WorkerState& ws = *workers_[w];
   std::vector<Key128> batch(pop_batch_);
   std::uint64_t acked = 0;
+  // Cooperative rotation state, all thread-local so non-windowed engines
+  // pay nothing past two immutable bools. `metering` (packet budget
+  // configured) drives the countdown whether or not the cooperative path is
+  // on -- the fallback clock reads the same countdown, and the drift mark
+  // set at the crossing keeps the baseline's drift measurement honest.
+  // `claimed` tracks ownership of the epoch-due token across batches while
+  // snap_mu_ is busy (the claim survives quiesce boundaries: a try-lock
+  // miss below never blocks this worker from acking them).
+  const bool metering = cfg_.epoch_packets > 0;
+  const bool cooperative = windowed() && cfg_.cooperative_rotation;
+  bool claimed = false;
   for (;;) {
     const std::size_t got = drain_pass(w, batch);
+    if (metering && got != 0) meter_consumed(got);
+    if (cooperative && got != 0 && !claimed && budget_due()) {
+      // Amortized cooperative check: one relaxed load + compare per batch
+      // (plus one clock read when a wall budget is configured), so the
+      // per-record update stays O(1). The budget is spent and unclaimed:
+      // elect ourselves rotator with a single CAS.
+      bool expect = false;
+      // order: relaxed -- the token only arbitrates who ATTEMPTS the
+      // rotation; every payload the rotation touches is ordered by snap_mu_
+      // inside the attempt, and per-variable coherence alone makes the
+      // claim exclusive.
+      claimed = epoch_due_.compare_exchange_strong(expect, true,
+                                                   std::memory_order_relaxed);
+    }
+    if (claimed && try_rotate_cooperative(w, batch, acked)) {
+      // Settled: either we rotated, or a racer (manual call / fallback
+      // clock) already reset the budget. Only the claimant releases the
+      // token. A false return keeps the claim: snap_mu_ was busy, retry
+      // after the next batch (and after servicing any boundary below).
+      // order: relaxed -- see the claim CAS above.
+      epoch_due_.store(false, std::memory_order_relaxed);
+      claimed = false;
+    }
     // order: acquire -- pairs with quiesced()'s release store: a worker that
     // sees the new epoch also sees every coordinator write sequenced before
     // the request (nothing rides on it today, but the boundary must not be
@@ -590,30 +657,7 @@ void HhhEngine::worker_loop(std::uint32_t w) {
       // Epoch boundary: consume exactly the backlog visible in each ring at
       // this instant, then ack and park until the coordinator is done with
       // this shard's lattices (merging, or rotating the window pair).
-      // Bounding the drain by the observed size keeps quiesce terminating
-      // even while producers keep pushing -- later arrivals simply belong
-      // to the next epoch.
-      RhhhSpaceSaving& lattice = ws.ring.live();
-      for (std::uint32_t p = 0; p < producers(); ++p) {
-        SpscRing<Key128>& r = ring(p, w);
-        std::size_t left = r.size_approx();
-        std::uint64_t popped = 0;
-        while (left != 0) {
-          const std::size_t n =
-              r.try_pop_n(batch.data(), std::min(batch.size(), left));
-          if (n == 0) break;
-          for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
-          // order: relaxed -- consumed counter (see drain_pass).
-          ws.consumed.fetch_add(n, std::memory_order_relaxed);
-          popped += n;
-          left -= n;
-        }
-        if (popped != 0) {
-          // order: relaxed -- pop counter (see drain_pass).
-          ring_popped_[p * workers_.size() + w]->fetch_add(
-              popped, std::memory_order_relaxed);
-        }
-      }
+      boundary_drain(w, batch);
       std::unique_lock<std::mutex> lk(ctl_mu_);
       ws.epoch_acked = e;
       acked = e;
@@ -642,40 +686,147 @@ void HhhEngine::worker_loop(std::uint32_t w) {
   }
 }
 
+void HhhEngine::boundary_drain(std::uint32_t w, std::vector<Key128>& batch) {
+  // Bounding the drain by the observed size keeps quiesce terminating even
+  // while producers keep pushing -- later arrivals simply belong to the
+  // next epoch.
+  WorkerState& ws = *workers_[w];
+  RhhhSpaceSaving& lattice = ws.ring.live();
+  std::size_t drained = 0;
+  for (std::uint32_t p = 0; p < producers(); ++p) {
+    SpscRing<Key128>& r = ring(p, w);
+    std::size_t left = r.size_approx();
+    std::uint64_t popped = 0;
+    while (left != 0) {
+      const std::size_t n =
+          r.try_pop_n(batch.data(), std::min(batch.size(), left));
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+      // order: relaxed -- consumed counter (see drain_pass).
+      ws.consumed.fetch_add(n, std::memory_order_relaxed);
+      popped += n;
+      left -= n;
+    }
+    if (popped != 0) {
+      // order: relaxed -- pop counter (see drain_pass).
+      ring_popped_[p * workers_.size() + w]->fetch_add(
+          popped, std::memory_order_relaxed);
+      drained += popped;
+    }
+  }
+  // Boundary-drained records reached the live lattice, so they spend the
+  // packet budget like any consumed batch (the consumed-only basis). At a
+  // rotation boundary the decrement lands before this worker's ack -- and
+  // therefore before the budget reset, which runs only once every worker
+  // has acked -- so it is wiped with the sealed window, never leaked into
+  // the fresh one.
+  if (drained != 0 && cfg_.epoch_packets > 0) meter_consumed(drained);
+}
+
+void HhhEngine::meter_consumed(std::size_t n) {
+  // order: relaxed -- the countdown is budget bookkeeping, not a
+  // synchronization point: rotation paths re-check under snap_mu_ before
+  // acting, and the reset inside the quiesced rotation cannot race a
+  // decrement (every worker is parked past its boundary drain by then).
+  const std::int64_t old = epoch_budget_left_.fetch_sub(
+      static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  if (old > 0 && old <= static_cast<std::int64_t>(n)) {
+    // Exactly one decrement takes the countdown from positive to spent
+    // (fetch_sub totally orders them): this worker is the budget's first
+    // observer and records the ideal boundary instant for drift metering.
+    note_budget_spent(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+}
+
+void HhhEngine::note_budget_spent(std::int64_t mark_ns) {
+  std::int64_t expect = 0;
+  // order: relaxed -- the mark is a drift statistic: rotate_locked() reads
+  // it under snap_mu_ and validates it against the window start, so a
+  // racing write needs no ordering (first writer per window wins).
+  budget_spent_ns_.compare_exchange_strong(expect, mark_ns,
+                                           std::memory_order_relaxed);
+}
+
+bool HhhEngine::budget_due() {
+  // order: relaxed -- lock-free budget metering tolerates staleness: a
+  // spuriously "due" caller re-checks under snap_mu_ before rotating, and a
+  // spuriously "not due" one retries next batch / next clock tick.
+  if (cfg_.epoch_packets > 0 &&
+      epoch_budget_left_.load(std::memory_order_relaxed) <= 0) {
+    return true;
+  }
+  if (cfg_.epoch_millis > 0) {
+    const std::int64_t now_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    // order: relaxed -- same stale-tolerant budget metering as above.
+    const std::int64_t deadline =
+        epoch_deadline_ns_.load(std::memory_order_relaxed);
+    if (now_ns >= deadline) {
+      // The wall budget's ideal boundary is the deadline itself, however
+      // late anyone noticed -- which keeps the drift measurement honest
+      // even on the polling fallback path.
+      note_budget_spent(deadline);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HhhEngine::try_rotate_cooperative(std::uint32_t w,
+                                       std::vector<Key128>& batch,
+                                       std::uint64_t& acked) {
+  // NEVER block on snap_mu_ here: a control op holding it may be waiting
+  // for this very worker's quiesce ack. On a miss the worker keeps the
+  // claim, services any pending boundary, and retries after the next batch.
+  std::unique_lock<std::mutex> snap_lk(snap_mu_, std::try_to_lock);
+  if (!snap_lk.owns_lock()) return false;
+  // order: relaxed -- running_ only flips under snap_mu_ (held); a stopping
+  // engine settles the claim without rotating (start() re-arms the token).
+  if (!running_.load(std::memory_order_relaxed)) return true;
+  // Re-check under the lock: a manual rotate_epoch() or the fallback clock
+  // may have rotated (and reset the budget) while we held a stale claim --
+  // the claim then simply dissolves. No double rotation is possible.
+  if (!budget_due()) return true;
+  rotate_locked(w, &batch, &acked);
+  return true;
+}
+
 void HhhEngine::clock_loop(std::uint64_t gen) {
-  // The coordinator clock: meters the packet/wall budget lock-free, and
-  // only takes snap_mu_ when a rotation is actually due -- a stream of
+  // The DEMOTED fallback clock: with cooperative rotation (the default) the
+  // workers meter the budget at their batch boundaries and rotate
+  // themselves, so this thread matters only for idle streams -- a wall
+  // budget with no traffic has no batch boundary to piggyback on. With
+  // cooperative_rotation == false it is the sole automatic rotator (the
+  // pre-cooperative 200us-timeslice baseline the drift bench compares
+  // against). Either way it meters the same consumed-only budget lock-free
+  // and only takes snap_mu_ when a rotation is actually due -- a stream of
   // concurrent snapshots must not starve the clock, and an idle clock must
   // not contend with them. A stale generation token (this thread has been
   // retired by stop(), possibly with a successor already running) exits
   // without touching anything.
-  const auto due_now = [&] {
-    // order: relaxed (both bases) -- lock-free budget metering tolerates a
-    // stale base: a spuriously "due" clock re-checks under snap_mu_ before
-    // rotating, and a spuriously "not due" one retries 200us later.
-    if (cfg_.epoch_packets > 0 &&
-        processed_total() - win_processed_base_.load(std::memory_order_relaxed) >=
-            cfg_.epoch_packets) {
-      return true;
-    }
-    if (cfg_.epoch_millis > 0) {
-      const std::int64_t now_ns =
-          std::chrono::steady_clock::now().time_since_epoch().count();
-      // order: relaxed -- same stale-tolerant budget metering as above.
-      if (now_ns - win_started_ns_.load(std::memory_order_relaxed) >=
-          static_cast<std::int64_t>(cfg_.epoch_millis) * 1'000'000) {
-        return true;
-      }
-    }
-    return false;
-  };
+  constexpr std::int64_t kTimesliceNs = 200'000;  // 200us poll cadence
   // order: acquire x2 -- pair with stop()'s release bump of clock_gen_ and
   // acq_rel flip of running_: a retired/stopped clock must also observe the
   // teardown that retired it before touching anything.
   while (clock_gen_.load(std::memory_order_acquire) == gen &&
          running_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
-    if (!due_now()) continue;
+    if (!budget_due()) {
+      // Sleep one timeslice, but never past a wall deadline that lands
+      // sooner -- a wall-clock epoch on an idle stream must not overshoot
+      // by a whole tick.
+      std::int64_t sleep_ns = kTimesliceNs;
+      if (cfg_.epoch_millis > 0) {
+        const std::int64_t now_ns =
+            std::chrono::steady_clock::now().time_since_epoch().count();
+        // order: relaxed -- stale-tolerant metering (see budget_due).
+        const std::int64_t left =
+            epoch_deadline_ns_.load(std::memory_order_relaxed) - now_ns;
+        sleep_ns = std::clamp<std::int64_t>(left, 1'000, kTimesliceNs);
+      }
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+      continue;
+    }
     std::lock_guard<std::mutex> lk(snap_mu_);
     // order: acquire x2 -- re-check under snap_mu_; stop() may have retired
     // this generation while we slept or waited for the lock.
@@ -683,20 +834,10 @@ void HhhEngine::clock_loop(std::uint64_t gen) {
         !running_.load(std::memory_order_acquire)) {
       break;
     }
-    // Re-check under the lock: a manual rotate_epoch() may have just reset
-    // the budget while we were waiting.
-    if (due_now()) rotate_locked();
+    // Re-check under the lock: a manual rotate_epoch() or a cooperative
+    // rotator may have just reset the budget while we waited.
+    if (budget_due()) rotate_locked();
   }
-}
-
-std::uint64_t HhhEngine::processed_total() const {
-  // order: relaxed x2 -- monotonic counters summed for budget metering and
-  // stats; each is individually consistent, the sum is approximate unless
-  // the workers are quiesced (then ctl_mu_ provides the happens-before).
-  std::uint64_t n = 0;
-  for (const auto& ws : workers_) n += ws->consumed.load(std::memory_order_relaxed);
-  for (const auto& d : ring_dropped_) n += d->load(std::memory_order_relaxed);
-  return n;
 }
 
 EngineStats HhhEngine::collect_stats() const {
@@ -733,7 +874,7 @@ EngineStats HhhEngine::collect_stats() const {
     // order: relaxed -- backpressure-retry counter.
     s.backpressure_waits += b->load(std::memory_order_relaxed);
   }
-  // order: relaxed x6 -- scalar counters; the archive trio is written by the
+  // order: relaxed x9 -- scalar counters; the archive trio is written by the
   // archiver thread and only consistent with the on-disk state after stop().
   s.epochs = epoch_req_.load(std::memory_order_relaxed);
   s.window_epochs = window_epochs_.load(std::memory_order_relaxed);
@@ -741,13 +882,17 @@ EngineStats HhhEngine::collect_stats() const {
   s.archive_queue_drops = archive_queue_drops_.load(std::memory_order_relaxed);
   s.archive_errors = archive_errors_.load(std::memory_order_relaxed);
   s.trend_cache_hits = trend_cache_hits_.load(std::memory_order_relaxed);
+  s.budget_rotations = budget_rotations_.load(std::memory_order_relaxed);
+  s.rotation_drift_ns_total = drift_ns_total_.load(std::memory_order_relaxed);
+  s.late_rotations = late_rotations_.load(std::memory_order_relaxed);
   return s;
 }
 
 EngineStats HhhEngine::stats() const { return collect_stats(); }
 
 template <class Fn>
-std::uint64_t HhhEngine::quiesced(Fn&& fn) {
+std::uint64_t HhhEngine::quiesced(Fn&& fn, std::uint32_t self,
+                                  std::vector<Key128>* self_batch) {
   // order: relaxed -- epoch_req_ is only advanced under snap_mu_ (held by
   // every caller), so this read-modify-write cannot race another request.
   const std::uint64_t e = epoch_req_.load(std::memory_order_relaxed) + 1;
@@ -763,8 +908,15 @@ std::uint64_t HhhEngine::quiesced(Fn&& fn) {
     // worker_loop(): the boundary request publishes everything sequenced
     // before it alongside the new epoch number.
     epoch_req_.store(e, std::memory_order_release);
+    if (self != kNoWorker) {
+      // The caller IS worker `self` (a cooperative rotator): it cannot park
+      // at its own boundary, so it performs its own boundary drain here and
+      // self-acks below, then operates while the other workers wait.
+      boundary_drain(self, *self_batch);
+    }
     {
       std::unique_lock<std::mutex> lk(ctl_mu_);
+      if (self != kNoWorker) workers_[self]->epoch_acked = e;
       ctl_cv_.wait(lk, [&] {
         return std::all_of(workers_.begin(), workers_.end(),
                            [&](const auto& ws) { return ws->epoch_acked >= e; });
@@ -824,14 +976,43 @@ EngineSnapshot HhhEngine::snapshot() {
   return EngineSnapshot(std::move(merged), std::move(s), e);
 }
 
-void HhhEngine::rotate_locked() {
+void HhhEngine::rotate_locked(std::uint32_t self, std::vector<Key128>* self_batch,
+                              std::uint64_t* self_acked) {
   const std::uint64_t obs_t0 = obs_.rotation_ns != nullptr ? obs::now_ns() : 0;
+  // Drift metering: a budget-driven rotation measures rotation-start minus
+  // the instant the budget was first observed spent. The mark must fall
+  // inside the closing window -- an observation that raced the previous
+  // reset can deposit a mark from the OLD window after the clear below; the
+  // validity check discards it (costing at most one sample, never faking
+  // one). Manual rotations (no mark) record nothing.
+  {
+    const std::int64_t rot_start_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    // order: relaxed x2 -- both are stable or stale-tolerant under snap_mu_
+    // (held): the mark is validated below, the start is written only under
+    // this lock.
+    const std::int64_t mark = budget_spent_ns_.load(std::memory_order_relaxed);
+    const std::int64_t started = win_started_ns_.load(std::memory_order_relaxed);
+    if (mark != 0 && mark > started) {
+      const std::uint64_t drift =
+          rot_start_ns > mark ? static_cast<std::uint64_t>(rot_start_ns - mark)
+                              : 0;
+      // order: relaxed x3 -- drift statistics, written only under snap_mu_.
+      budget_rotations_.fetch_add(1, std::memory_order_relaxed);
+      drift_ns_total_.fetch_add(drift, std::memory_order_relaxed);
+      if (drift > static_cast<std::uint64_t>(kLateRotationNs)) {
+        late_rotations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (obs_.rotation_drift_ns != nullptr) obs_.rotation_drift_ns->record(drift);
+    }
+  }
   std::uint64_t sealed_drop = 0;
   std::uint64_t duration_ns = 0;
   const std::int64_t wall_start_ns = win_started_wall_ns_;
   const std::int64_t wall_end_ns =
       std::chrono::system_clock::now().time_since_epoch().count();
-  quiesced([&] {
+  const std::uint64_t e = quiesced(
+      [&] {
     for (auto& ws : workers_) ws->ring.rotate();
     std::uint64_t d = 0;
     // order: relaxed -- workers are parked (quiesced), so the drop counters
@@ -846,20 +1027,34 @@ void HhhEngine::rotate_locked() {
     sealed_drops_.insert(sealed_drops_.begin(), sealed_drop);
     sealed_drops_.resize(cfg_.history_depth);
     win_drops_base_ = d;
-    // order: relaxed (bases) -- reset the clock thread's budget bases; its
-    // metering reads are relaxed and tolerate seeing old/new mid-rotation
-    // (it re-checks under snap_mu_ before acting).
-    win_processed_base_.store(processed_total(), std::memory_order_relaxed);
     const std::int64_t now_ns =
         std::chrono::steady_clock::now().time_since_epoch().count();
+    // order: relaxed -- written only under snap_mu_ (held), stable here.
     const std::int64_t started = win_started_ns_.load(std::memory_order_relaxed);
     duration_ns =
         now_ns > started ? static_cast<std::uint64_t>(now_ns - started) : 0;
     sealed_durations_ns_.insert(sealed_durations_ns_.begin(), duration_ns);
     sealed_durations_ns_.resize(cfg_.history_depth);
-    // order: relaxed -- same budget-base contract as above.
+    // Reset the whole budget state for the fresh window while every worker
+    // is parked past its boundary drain (or IS this thread): no metering
+    // decrement can race these stores, and the ctl_mu_ hand-off at resume
+    // publishes them to the workers.
+    // order: relaxed x4 -- the parked workers' resume (ctl_mu_) and the
+    // clock's snap_mu_ re-check are the happens-before edges; lock-free
+    // readers tolerate staleness by contract (see budget_due).
     win_started_ns_.store(now_ns, std::memory_order_relaxed);
-  });
+    epoch_budget_left_.store(static_cast<std::int64_t>(cfg_.epoch_packets),
+                             std::memory_order_relaxed);
+    epoch_deadline_ns_.store(
+        cfg_.epoch_millis > 0
+            ? now_ns + static_cast<std::int64_t>(cfg_.epoch_millis) * 1'000'000
+            : 0,
+        std::memory_order_relaxed);
+    budget_spent_ns_.store(0, std::memory_order_relaxed);
+      },
+      self, self_batch);
+  // A rotating worker must not re-park at the boundary it just drove.
+  if (self_acked != nullptr) *self_acked = e;
   win_started_wall_ns_ = wall_end_ns;
   // The sealed-window set changed: cached trend merges are stale.
   trend_cache_.clear();

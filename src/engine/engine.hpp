@@ -30,9 +30,13 @@
 //                          view otherwise.
 //   * rotate_epoch()    -- seal the current window: every shard rotates its
 //                          window ring on the shared boundary. Driven
-//                          manually, or automatically by the coordinator
-//                          clock (EngineConfig::epoch_packets /
-//                          epoch_millis) from a background thread.
+//                          manually, cooperatively by the workers
+//                          (EngineConfig::epoch_packets / epoch_millis:
+//                          each worker meters the budget at its batch
+//                          boundaries and the one that sees it spent
+//                          elects itself rotator via one CAS), or -- for
+//                          idle streams -- by the fallback coordinator
+//                          clock thread.
 //   * window_snapshot() -- merge the live side and the newest sealed side
 //                          of every ring into a current-window and a
 //                          previous-window lattice, with each window's
@@ -179,9 +183,13 @@ class HhhEngine {
   /// Close the current window on a shared boundary: quiesce, rotate every
   /// shard's window ring (the oldest retained sealed window is discarded),
   /// attribute the drops counted since the last boundary to the newly
-  /// sealed window, resume. The coordinator clock calls this automatically
-  /// when EngineConfig::epoch_packets / epoch_millis are set; manual calls
-  /// compose with the clock (the packet/wall budgets reset either way).
+  /// sealed window, resume. With EngineConfig::epoch_packets /
+  /// epoch_millis set this happens automatically -- cooperatively by the
+  /// workers (bounding boundary drift by one worker batch) with the
+  /// coordinator clock thread as an idle-stream fallback; manual calls
+  /// compose with both (the packet/wall budgets reset either way). The
+  /// packet budget meters CONSUMED records only -- see
+  /// EngineConfig::epoch_packets for the basis contract.
   void rotate_epoch();
 
   /// Two-window network-wide query: quiesce, merge the live sides of every
@@ -259,6 +267,13 @@ class HhhEngine {
     alignas(kCacheLine) std::atomic<std::uint64_t> consumed{0};
   };
 
+  /// `self` sentinel for quiesced()/rotate_locked(): no worker is driving
+  /// the control operation (an external caller or the fallback clock is).
+  static constexpr std::uint32_t kNoWorker = ~std::uint32_t{0};
+  /// A budget rotation later than the fallback clock's polling timeslice
+  /// counts as late: the cooperative path missed its one-batch bound.
+  static constexpr std::int64_t kLateRotationNs = 200'000;
+
   [[nodiscard]] SpscRing<Key128>& ring(std::uint32_t p, std::uint32_t w) noexcept {
     return *rings_[p * workers_.size() + w];
   }
@@ -268,10 +283,39 @@ class HhhEngine {
   void clock_loop(std::uint64_t gen);
   /// One try_pop_n sweep over worker w's M rings; returns records consumed.
   std::size_t drain_pass(std::uint32_t w, std::vector<Key128>& batch);
+  /// Worker w's epoch-boundary drain: consume exactly the backlog visible
+  /// in each of its rings right now (bounded by the observed size, so it
+  /// terminates while producers keep pushing -- later arrivals belong to
+  /// the next epoch). Runs on worker threads (at a quiesce boundary or as
+  /// the self-drain of a cooperative rotator) and once more from stop()
+  /// after the workers are joined.
+  void boundary_drain(std::uint32_t w, std::vector<Key128>& batch);
+  /// Spend `n` consumed records of the packet budget (the consumed-only
+  /// basis: drops never pass through here). The decrement that crosses zero
+  /// records the boundary instant for drift metering. Called at every batch
+  /// boundary and from boundary_drain().
+  void meter_consumed(std::size_t n);
+  /// True when the packet or wall budget of the current window is spent.
+  /// Lock-free and stale-tolerant: both rotation paths re-check under
+  /// snap_mu_ before acting. The first observer of a wall-deadline crossing
+  /// records the drift mark (the deadline itself), hence non-const.
+  [[nodiscard]] bool budget_due();
+  /// First observer of a spent budget records the boundary instant (the
+  /// wall deadline, or steady-now for a packet-budget crossing); the next
+  /// rotation meters its drift against it. First write per window wins; a
+  /// write that races the budget reset is discarded by the validity check
+  /// in rotate_locked() (it can cost one drift sample, never fake one).
+  void note_budget_spent(std::int64_t mark_ns);
+  /// Cooperative rotation attempt by worker w (which must hold the
+  /// epoch-due token): try-locks snap_mu_ (never blocks -- a worker that
+  /// waited here could deadlock a control op quiescing it), re-checks the
+  /// budget, rotates. Returns false only when the lock was unavailable
+  /// (keep the token, retry next batch); true means the claim is settled
+  /// (rotated here, or a racer already reset the budget) and the token
+  /// must be released.
+  bool try_rotate_cooperative(std::uint32_t w, std::vector<Key128>& batch,
+                              std::uint64_t& acked);
   [[nodiscard]] EngineStats collect_stats() const;
-  /// Total records the shards have disposed of (consumed + dropped); what
-  /// the packet clock meters.
-  [[nodiscard]] std::uint64_t processed_total() const;
   struct ArchiveItem;  // defined with the archiver state below
   /// Archiver thread body: drains the sealed-window queue into `arch`
   /// until its generation is retired.
@@ -287,11 +331,18 @@ class HhhEngine {
   void archive_one(store::WindowArchive* arch, const ArchiveItem& item);
   /// Parks every worker at the next quiesce boundary, runs fn while they
   /// are parked, resumes them; returns the quiesce generation. Caller must
-  /// hold snap_mu_.
+  /// hold snap_mu_. When the caller IS a worker (cooperative rotation),
+  /// pass its index and batch buffer: the worker performs its own boundary
+  /// drain and self-acks the epoch instead of waiting on itself.
   template <class Fn>
-  std::uint64_t quiesced(Fn&& fn);
-  /// rotate_epoch() body; caller must hold snap_mu_.
-  void rotate_locked();
+  std::uint64_t quiesced(Fn&& fn, std::uint32_t self = kNoWorker,
+                         std::vector<Key128>* self_batch = nullptr);
+  /// rotate_epoch() body; caller must hold snap_mu_. `self`/`self_batch`
+  /// as in quiesced(); a rotating worker's local ack mark is updated
+  /// through `self_acked` so it does not re-park on its own boundary.
+  void rotate_locked(std::uint32_t self = kNoWorker,
+                     std::vector<Key128>* self_batch = nullptr,
+                     std::uint64_t* self_acked = nullptr);
   /// Register this engine's instruments (histograms, counter-mirror and
   /// occupancy gauges) against cfg_.metrics / the global registry when
   /// cfg_.telemetry is set; called once from the constructor. With
@@ -327,9 +378,10 @@ class HhhEngine {
 
   // Window bookkeeping. The atomics are written under snap_mu_ (rotations
   // are serialized) but read lock-free: window_epochs_ by detection loops
-  // polling for new windows, the base/started marks by the coordinator
-  // clock metering its budget without touching snap_mu_ until a rotation
-  // is actually due (so frequent snapshots cannot starve it).
+  // polling for new windows, the budget countdown/deadline by workers
+  // metering the epoch budget at batch boundaries and by the fallback
+  // clock, neither touching snap_mu_ until a rotation is actually due (so
+  // frequent snapshots cannot starve either path).
   std::atomic<std::uint64_t> window_epochs_{0};
   std::uint64_t win_drops_base_ = 0;  ///< total drops at the last rotation
   /// Drops attributed to each retained sealed window, by age (index 0 = the
@@ -339,7 +391,29 @@ class HhhEngine {
   /// Steady-clock live duration of each retained sealed window, by age
   /// (parallel to sealed_drops_). Written under snap_mu_.
   std::vector<std::uint64_t> sealed_durations_ns_;
-  std::atomic<std::uint64_t> win_processed_base_{0};  ///< processed at boundary
+  /// Packet-budget countdown for the current window: reset to epoch_packets
+  /// at every boundary (inside the quiesced rotation, all workers parked),
+  /// decremented by each worker's consumed batch size. The worker whose
+  /// decrement crosses zero is the budget's first observer. May go negative
+  /// transiently (several workers decrement concurrently); <= 0 means spent.
+  std::atomic<std::int64_t> epoch_budget_left_{0};
+  /// Wall-budget deadline (steady-clock ns) for the current window; 0 when
+  /// no wall budget is configured. Reset at every boundary.
+  std::atomic<std::int64_t> epoch_deadline_ns_{0};
+  /// Steady-clock instant the current window's budget was first observed
+  /// spent (0 = not yet): the ideal boundary the next rotation meters its
+  /// drift against. For a wall crossing this is the deadline itself; for a
+  /// packet crossing, the observer's now().
+  std::atomic<std::int64_t> budget_spent_ns_{0};
+  /// Cooperative rotator-election token: the worker whose CAS flips it
+  /// false->true owns the rotation attempt (and keeps ownership across
+  /// batches while snap_mu_ is busy). Released by the claimant only.
+  std::atomic<bool> epoch_due_{false};
+  // Drift bookkeeping (budget-driven rotations only; manual rotate_epoch()
+  // calls have no ideal boundary to drift from).
+  std::atomic<std::uint64_t> budget_rotations_{0};
+  std::atomic<std::uint64_t> drift_ns_total_{0};
+  std::atomic<std::uint64_t> late_rotations_{0};  ///< drift > kLateRotationNs
   std::atomic<std::int64_t> win_started_ns_{0};  ///< boundary steady-clock ns
   std::int64_t win_started_wall_ns_ = 0;  ///< boundary system-clock ns (snap_mu_)
   /// Bumped by stop() to retire the current clock thread. stop() joins the
@@ -395,6 +469,7 @@ class HhhEngine {
     obs::Histogram* pop_ns = nullptr;         ///< worker drain-pass latency
     obs::Histogram* quiesce_ns = nullptr;     ///< request -> all-acked wait
     obs::Histogram* rotation_ns = nullptr;    ///< full rotate_locked() cost
+    obs::Histogram* rotation_drift_ns = nullptr;  ///< budget-spent -> rotation
     obs::Histogram* snapshot_ns = nullptr;    ///< snapshot/window merge time
     obs::Histogram* trend_ns = nullptr;       ///< trend_snapshot merge time
     obs::Gauge* archive_q_depth = nullptr;    ///< sealed windows queued

@@ -49,6 +49,20 @@ struct EngineStats {
   /// trend_snapshot() calls served from the merged-sealed-window cache
   /// (no re-merge: the window set was unchanged since the previous call).
   std::uint64_t trend_cache_hits = 0;
+  /// Rotations triggered by a spent packet/wall budget (manual
+  /// rotate_epoch() calls are excluded -- they have no boundary to drift
+  /// from). Denominator for the drift mean.
+  std::uint64_t budget_rotations = 0;
+  /// Summed boundary drift (ns) over budget_rotations: the steady-clock
+  /// gap between the instant the epoch budget was first observed spent and
+  /// the rotation that sealed the window. Cooperative rotation bounds each
+  /// sample by roughly one worker batch; the 200us-timeslice fallback by a
+  /// scheduler quantum.
+  std::uint64_t rotation_drift_ns_total = 0;
+  /// Budget rotations whose drift exceeded the fallback clock's 200us
+  /// timeslice -- the cooperative path missed its bound and the window
+  /// boundary slid by a scheduler quantum or worse.
+  std::uint64_t late_rotations = 0;
   std::vector<std::uint64_t> per_worker_consumed;  ///< [worker]
   std::vector<std::uint64_t> per_ring_dropped;     ///< [producer * W + worker]
   std::vector<std::uint64_t> per_ring_pushed;      ///< [producer * W + worker]

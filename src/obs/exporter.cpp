@@ -30,16 +30,6 @@ std::string status_line(int code) {
   }
 }
 
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to recover
-    off += static_cast<std::size_t>(n);
-  }
-}
-
 void respond(int fd, int code, const std::string& content_type,
              const std::string& body) {
   std::string out = status_line(code);
@@ -47,22 +37,7 @@ void respond(int fd, int code, const std::string& content_type,
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += body;
-  send_all(fd, out);
-}
-
-/// Read until the header terminator (one request per connection; bodies are
-/// ignored -- every route is a GET).
-std::string read_request(int fd) {
-  std::string req;
-  char buf[2048];
-  struct pollfd pfd = {fd, POLLIN, 0};
-  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
-    if (::poll(&pfd, 1, kRequestPollMs) <= 0) break;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    req.append(buf, static_cast<std::size_t>(n));
-  }
-  return req;
+  detail::send_all(fd, out);
 }
 
 std::string request_path(const std::string& req) {
@@ -92,6 +67,39 @@ std::string trace_json(const TraceRing& ring) {
 }
 
 }  // namespace
+
+namespace detail {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal, not a dead client
+    if (n <= 0) return;  // client went away; nothing to recover
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read until the header terminator (one request per connection; bodies are
+/// ignored -- every route is a GET).
+std::string read_request(int fd) {
+  std::string req;
+  char buf[2048];
+  struct pollfd pfd = {fd, POLLIN, 0};
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    const int rc = ::poll(&pfd, 1, kRequestPollMs);
+    if (rc < 0 && errno == EINTR) continue;  // signal, not a timeout
+    if (rc <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  return req;
+}
+
+}  // namespace detail
 
 MetricsExporter::MetricsExporter(MetricsRegistry& reg, TraceRing* trace)
     : reg_(&reg), trace_(trace) {}
@@ -152,7 +160,7 @@ void MetricsExporter::serve_loop() {
     if (rc <= 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    const std::string path = request_path(read_request(client));
+    const std::string path = request_path(detail::read_request(client));
     // order: relaxed -- a statistic.
     scrapes_.fetch_add(1, std::memory_order_relaxed);
     if (path == "/metrics") {
@@ -184,13 +192,16 @@ std::string http_get_local(std::uint16_t port, const std::string& path,
     return {};
   }
   const std::string req = "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
-  send_all(fd, req);
+  detail::send_all(fd, req);
   std::string resp;
   char buf[4096];
   struct pollfd pfd = {fd, POLLIN, 0};
   while (true) {
-    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;  // signal, not a timeout
+    if (rc <= 0) break;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     resp.append(buf, static_cast<std::size_t>(n));
   }

@@ -78,4 +78,15 @@ class MetricsExporter {
                                          const std::string& path,
                                          int timeout_ms = 2000);
 
+namespace detail {
+/// Write all of `data` to `fd`, retrying short writes and EINTR (a signal
+/// landing mid-scrape must not truncate the response -- only a real error
+/// or a closed peer aborts). Exposed for the interrupted-write unit test.
+void send_all(int fd, const std::string& data);
+/// Read from `fd` until the HTTP header terminator ("\r\n\r\n"), a 16 KiB
+/// cap, a quiet period, or EOF -- retrying EINTR on both poll() and recv()
+/// so an interrupted read never drops the request. Exposed for tests.
+[[nodiscard]] std::string read_request(int fd);
+}  // namespace detail
+
 }  // namespace rhhh::obs

@@ -915,6 +915,91 @@ TEST(WindowedEngine, PacketClockRotatesAutomatically) {
   EXPECT_EQ(snap.stats().window_epochs, rotations);
 }
 
+// The packet budget meters CONSUMED records only (the EngineConfig
+// contract): drop-tail drops fold into the window's N but must never spend
+// the budget. Saturate a tiny ring while the engine is stopped -- nearly
+// everything drops, almost nothing is consumed -- then run briefly. A
+// combined consumed+dropped basis would see ~5 budgets spent and rotate;
+// the consumed-only basis owes zero rotations.
+TEST(WindowedEngine, PacketBudgetMetersConsumedOnly) {
+  constexpr std::uint64_t kEpoch = 10'000;
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.producers = 1;
+  cfg.ring_capacity = 64;
+  cfg.batch = 16;
+  cfg.overflow = OverflowPolicy::kDropTail;
+  cfg.epoch_packets = kEpoch;
+  HhhEngine eng(cfg);
+
+  // Phase 1: flood the stopped engine. The ring holds 64 records; the rest
+  // is counted drop-tail loss attributed to the live window.
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(31);
+  for (std::uint64_t i = 0; i < 5 * kEpoch; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  ASSERT_GT(eng.stats().dropped, 4 * kEpoch) << "ring did not saturate";
+
+  // Phase 2: run long enough for the fallback clock to poll many times and
+  // for the worker to drain the 64-record backlog. Consumed stays far
+  // below one budget, so no window may close.
+  eng.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  eng.stop();
+
+  const EngineStats s = eng.stats();
+  EXPECT_LT(s.consumed, kEpoch);
+  EXPECT_GT(s.dropped, 4 * kEpoch);
+  EXPECT_EQ(s.window_epochs, 0u)
+      << "drops spent the packet budget: basis is not consumed-only";
+
+  // Phase 3: live traffic through the same saturated ring. Whatever drops
+  // along the way, rotations may never outpace consumed records.
+  eng.start();
+  for (std::uint64_t i = 0; i < 3 * kEpoch; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  eng.stop();
+  const EngineStats s2 = eng.stats();
+  EXPECT_GE(s2.consumed, kEpoch * s2.window_epochs);
+  EXPECT_EQ(s2.consumed + s2.dropped, s2.offered);
+}
+
+// cooperative_rotation = false is the escape hatch: the coordinator clock's
+// 200us polling timeslice must still drive packet-budget rotations on its
+// own (workers meter the budget but never claim it).
+TEST(WindowedEngine, FallbackClockRotatesWithCooperativeOff) {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.producers = 1;
+  cfg.epoch_packets = 10000;
+  cfg.cooperative_rotation = false;
+  HhhEngine eng(cfg);
+  eng.start();
+  HhhEngine::Producer& prod = eng.producer(0);
+  Xoroshiro128 rng(37);
+  for (int i = 0; i < 100000; ++i) {
+    prod.ingest(Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+  }
+  prod.flush();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (eng.window_epochs() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_GE(s.window_epochs, 1u);
+  EXPECT_LE(s.window_epochs, 10u);
+  EXPECT_EQ(s.budget_rotations, s.window_epochs)
+      << "clock-driven budget rotations must feed the drift telemetry";
+  EXPECT_EQ(s.consumed, 100000u);
+}
+
 TEST(WindowedEngine, WallClockRotatesAutomatically) {
   EngineConfig cfg;
   cfg.workers = 1;

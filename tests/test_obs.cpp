@@ -6,7 +6,16 @@
 // ingestion keeps running at full rate (no quiesce).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -238,6 +247,163 @@ TEST(ObsExporter, ServesAllRoutes) {
   exp.stop();
   EXPECT_FALSE(exp.running());
   exp.stop();  // idempotent
+}
+
+// ------------------------------------------------- EINTR resilience ----
+
+std::atomic<int> g_sigusr1_hits{0};
+extern "C" void obs_test_on_sigusr1(int) {
+  g_sigusr1_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Installs a SIGUSR1 handler WITHOUT SA_RESTART -- blocking syscalls in
+/// the signaled thread return EINTR instead of resuming transparently,
+/// which is exactly the condition the exporter's retry loops must survive.
+/// Restores the previous disposition on scope exit.
+struct SigusrGuard {
+  struct sigaction old {};
+  SigusrGuard() {
+    struct sigaction sa {};
+    sa.sa_handler = obs_test_on_sigusr1;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+    sigaction(SIGUSR1, &sa, &old);
+  }
+  ~SigusrGuard() { sigaction(SIGUSR1, &old, nullptr); }
+};
+
+/// send_all must deliver the whole payload even when signals interrupt the
+/// blocked send() mid-transfer (pre-fix it treated EINTR as "client went
+/// away" and silently truncated the response).
+TEST(ObsExporterEintr, SendAllDeliversAcrossInterruptedWrites) {
+  SigusrGuard sig;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Tiny send buffer: the 1 MiB payload forces send() to block over and
+  // over, maximizing the window a signal can land in.
+  const int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  std::string payload(1 << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    obs::detail::send_all(fds[0], payload);
+    ::shutdown(fds[0], SHUT_WR);
+    done.store(true, std::memory_order_relaxed);
+  });
+  const pthread_t sender_h = sender.native_handle();
+  std::string got;
+  char buf[1024];
+  std::size_t since_sleep = 0;
+  for (;;) {
+    if (!done.load(std::memory_order_relaxed)) pthread_kill(sender_h, SIGUSR1);
+    const ssize_t n = ::recv(fds[1], buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // 0 = sender shut down after a complete send_all
+    got.append(buf, static_cast<std::size_t>(n));
+    // Drain slower than the sender fills, so it spends its time blocked in
+    // send() where the signals actually bite.
+    since_sleep += static_cast<std::size_t>(n);
+    if (since_sleep >= 64 * 1024) {
+      since_sleep = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  sender.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(g_sigusr1_hits.load(std::memory_order_relaxed), 0);
+}
+
+/// read_request must keep reading across EINTR on both poll() and recv():
+/// a signal while parked between the two halves of a split request header
+/// must not truncate the request (pre-fix the poll error aborted it).
+TEST(ObsExporterEintr, ReadRequestReadsAcrossInterruptedPoll) {
+  SigusrGuard sig;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string req_out;
+  std::thread reader([&] { req_out = obs::detail::read_request(fds[1]); });
+  const pthread_t reader_h = reader.native_handle();
+  const std::string part1 = "GET /metrics HTT";
+  const std::string part2 = "P/1.0\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fds[0], part1.data(), part1.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(part1.size()));
+  // The reader consumed part1 and is parked in poll() waiting for the rest
+  // of the header; interrupt it repeatedly before sending the remainder.
+  for (int i = 0; i < 50; ++i) {
+    pthread_kill(reader_h, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(::send(fds[0], part2.data(), part2.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(part2.size()));
+  reader.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(req_out, part1 + part2);
+}
+
+/// End to end: a full /metrics scrape survives signals hammering the
+/// serving thread mid-response. The response is larger than the socket
+/// buffers and the client reads slowly, so the server blocks in send()
+/// where an unretried EINTR would cut the body short of Content-Length.
+TEST(ObsExporterEintr, ScrapeSurvivesInterruptedWrite) {
+  SigusrGuard sig;
+  MetricsRegistry reg;
+  for (int i = 0; i < 4000; ++i) {
+    reg.counter("obs_eintr_padding_counter_number_" + std::to_string(i),
+                "padding to outgrow the socket buffers")
+        .add(static_cast<std::uint64_t>(i));
+  }
+  MetricsExporter exp(reg);
+  exp.start(0);  // the serving thread inherits an unblocked SIGUSR1 mask
+  ASSERT_NE(exp.port(), 0);
+  // Block SIGUSR1 in this thread so the process-directed kills below are
+  // delivered to the serving thread (the only unblocked candidate).
+  sigset_t set, oldmask;
+  sigemptyset(&set);
+  sigaddset(&set, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &set, &oldmask);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(exp.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string req = "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[512];
+  for (;;) {
+    ::kill(::getpid(), SIGUSR1);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ::close(fd);
+  pthread_sigmask(SIG_SETMASK, &oldmask, nullptr);
+  exp.stop();
+
+  const std::size_t hdr_end = resp.find("\r\n\r\n");
+  ASSERT_NE(hdr_end, std::string::npos) << "no complete header in response";
+  const std::size_t cl_pos = resp.find("Content-Length: ");
+  ASSERT_NE(cl_pos, std::string::npos);
+  const std::size_t declared = std::stoull(resp.substr(cl_pos + 16));
+  EXPECT_EQ(resp.size() - (hdr_end + 4), declared)
+      << "body truncated: an EINTR mid-send aborted the response";
+  EXPECT_NE(resp.find("obs_eintr_padding_counter_number_3999"),
+            std::string::npos);
 }
 
 /// Acceptance criterion: scraping /metrics while an engine ingests at full

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -495,6 +496,143 @@ TEST(ScheduleStress, TraceRingConcurrentWrapAndDump) {
   EXPECT_EQ(final_dump.size(), ring.capacity())
       << "a quiesced over-full ring dumps exactly the newest capacity events";
   EXPECT_EQ(final_dump.back().seq, kWriters * kPerWriter - 1);
+}
+
+// Cooperative rotation, single consumer: with one worker there is no
+// cross-worker boundary backlog, so every sealed window's length is
+// deterministically bounded -- the budget guarantees >= epoch_packets
+// (consumed-only basis), and the batch-boundary crossing check plus the
+// rotator's own boundary drain cap the overshoot at roughly one pop batch
+// plus the in-flight ring backlog, independent of host speed. A regression
+// that reintroduces timeslice-polling drift (or rotates off the wrong
+// basis) shows up as a sealed window outside the band. Runs under TSan via
+// the stress label, where the claim CAS / budget countdown / quiesce
+// hand-off interleavings are the real payload.
+TEST(ScheduleStress, CooperativeRotationBoundsSealedWindowLength) {
+  constexpr std::uint64_t kEpoch = 20'000;
+  constexpr std::uint64_t kPerProducer = 90'000;
+  // One pop batch (crossing granularity) + one more for a claim retry +
+  // the boundary-drain backlog (P rings x capacity) + racing pushes.
+  constexpr std::uint64_t kSlack = 2'048;
+
+  EngineConfig cfg = small_engine(/*workers=*/1, /*producers=*/2);
+  cfg.epoch_packets = kEpoch;
+  cfg.history_depth = 8;
+  HhhEngine eng(cfg);
+  eng.start();
+
+  std::thread p0([&] { ingest_stream(eng, 0, kPerProducer, 101); });
+  std::thread p1([&] { ingest_stream(eng, 1, kPerProducer, 202); });
+  p0.join();
+  p1.join();
+  eng.stop();
+
+  const TrendSnapshot trend = eng.trend_snapshot();
+  ASSERT_GT(trend.sealed_windows(), 0u);
+  for (std::size_t age = 0; age < trend.sealed_windows(); ++age) {
+    const std::uint64_t n = trend.window_length(age);
+    EXPECT_GE(n, kEpoch) << "window sealed before its budget was spent";
+    EXPECT_LE(n, kEpoch + kSlack)
+        << "rotation drifted past the one-batch bound at age " << age;
+  }
+
+  const EngineStats s = trend.stats();
+  EXPECT_EQ(s.consumed, 2 * kPerProducer);  // kBlock: lossless
+  // Every rotation here is budget-driven (no manual calls, no wall clock),
+  // and each spends a full budget: the drift telemetry must agree.
+  EXPECT_EQ(s.budget_rotations, s.window_epochs);
+  EXPECT_GE(s.budget_rotations,
+            2 * kPerProducer / (kEpoch + kSlack) - 1);
+  EXPECT_LE(s.late_rotations, s.budget_rotations);
+}
+
+// Rotator election racing engine shutdown: producers keep flooding
+// (kDropTail, so they never block on a stopped engine) while stop() lands
+// mid-storm -- a worker may be joined between claiming the epoch-due token
+// and rotating, and stop() itself quiesces while a claim is in flight.
+// Several rounds force different stop points. Invariants: the window count
+// freezes at stop, the books balance, and the consumed-only basis holds
+// (every rotation spent a full budget of consumed records, drops included
+// in N but never in the budget).
+TEST(ScheduleStress, RotatorElectionSurvivesEngineStop) {
+  constexpr std::uint64_t kEpoch = 3'000;
+  for (int round = 0; round < 4; ++round) {
+    EngineConfig cfg = small_engine(/*workers=*/2, /*producers=*/2);
+    cfg.overflow = OverflowPolicy::kDropTail;
+    cfg.epoch_packets = kEpoch;
+    cfg.history_depth = 4;
+    HhhEngine eng(cfg);
+    eng.start();
+
+    std::atomic<bool> quit{false};
+    std::vector<std::thread> producers;
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      producers.emplace_back([&, p] {
+        HhhEngine::Producer& prod = eng.producer(p);
+        Xoroshiro128 rng(1000 + round * 10 + p);
+        while (!quit.load(std::memory_order_acquire)) {
+          for (int i = 0; i < 256; ++i) {
+            prod.ingest(
+                Key128::from_pair(rng(), static_cast<std::uint32_t>(rng())));
+          }
+          prod.flush();
+        }
+      });
+    }
+
+    // Vary the stop point across rounds: from "barely started" to "several
+    // rotations deep".
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + 3 * round));
+    eng.stop();
+    const std::uint64_t epochs_at_stop = eng.window_epochs();
+
+    quit.store(true, std::memory_order_release);
+    for (std::thread& t : producers) t.join();
+
+    EXPECT_EQ(eng.window_epochs(), epochs_at_stop)
+        << "no rotation may land after stop() returns";
+    const EngineStats s = eng.stats();
+    EXPECT_LE(s.consumed + s.dropped, s.offered);
+    EXPECT_GE(s.consumed, kEpoch * s.window_epochs)
+        << "a rotation fired without a full consumed-only budget";
+  }
+}
+
+// Cooperative workers and the fallback clock chasing the same packet
+// budget: with a small epoch the clock's 200us poll regularly lands right
+// as a worker claims, so both paths reach the rotation attempt
+// concurrently. The stale-claim re-check under snap_mu_ must dissolve the
+// loser -- a double rotation would seal a window that never spent a
+// budget, violating consumed >= epoch_packets * rotations and leaving a
+// short window in the retained history.
+TEST(ScheduleStress, NoDoubleRotationWhenCooperativeAndFallbackRace) {
+  constexpr std::uint64_t kEpoch = 2'000;
+  constexpr std::uint64_t kPerProducer = 60'000;
+
+  EngineConfig cfg = small_engine(/*workers=*/2, /*producers=*/2);
+  cfg.epoch_packets = kEpoch;
+  cfg.history_depth = 4;
+  HhhEngine eng(cfg);
+  eng.start();
+
+  std::thread p0([&] { ingest_stream(eng, 0, kPerProducer, 303); });
+  std::thread p1([&] { ingest_stream(eng, 1, kPerProducer, 404); });
+  p0.join();
+  p1.join();
+  eng.stop();
+
+  const TrendSnapshot trend = eng.trend_snapshot();
+  const EngineStats s = trend.stats();
+  EXPECT_EQ(s.consumed, 2 * kPerProducer);  // kBlock: lossless
+  ASSERT_GT(s.window_epochs, 0u);
+  EXPECT_GE(s.consumed, kEpoch * s.window_epochs)
+      << "double rotation: more windows sealed than budgets spent";
+  // The retained tail must show no short (double-rotation) window either.
+  for (std::size_t age = 0; age < trend.sealed_windows(); ++age) {
+    EXPECT_GE(trend.window_length(age), kEpoch)
+        << "short sealed window at age " << age;
+  }
+  EXPECT_EQ(s.budget_rotations, s.window_epochs);
 }
 
 }  // namespace
