@@ -98,6 +98,41 @@ BENCHMARK_TEMPLATE(BM_LatticeUpdate, LatticeMode::kMst)
     ->Args({25, 1})
     ->Args({33, 1});
 
+/// The engine hot path: whole batches through the staged update_batch
+/// pipeline (block-RNG, survivor compaction, prefetched apply). Args are
+/// {H, V-multiplier, batch size}; items processed counts packets, so
+/// items/s is directly comparable to BM_LatticeUpdate.
+template <LatticeMode Mode>
+void BM_LatticeUpdateBatch(benchmark::State& state) {
+  const Hierarchy h = hierarchy_for(static_cast<int>(state.range(0)));
+  LatticeParams lp;
+  lp.eps = 0.001;
+  lp.delta = 0.001;
+  if (Mode == LatticeMode::kRhhh && state.range(1) > 1) {
+    lp.V = static_cast<std::uint32_t>(state.range(1)) *
+           static_cast<std::uint32_t>(h.size());
+  }
+  LatticeHhh<SpaceSaving<Key128>> alg(h, Mode, lp);
+  const auto& keys = keys_2d();
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i + batch > keys.size()) i = 0;
+    alg.update_batch(keys.data() + i, batch);
+    i += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  state.SetLabel("H=" + std::to_string(h.size()) +
+                 " batch=" + std::to_string(batch));
+}
+BENCHMARK_TEMPLATE(BM_LatticeUpdateBatch, LatticeMode::kRhhh)
+    ->Args({25, 1, 2048})
+    ->Args({25, 10, 256})
+    ->Args({25, 10, 2048})
+    ->Args({33, 10, 2048});
+BENCHMARK_TEMPLATE(BM_LatticeUpdateBatch, LatticeMode::kMst)->Args({25, 1, 2048});
+
 void BM_TrieUpdate(benchmark::State& state) {
   const Hierarchy h = hierarchy_for(static_cast<int>(state.range(0)));
   TrieHhh alg(h, state.range(1) == 0 ? AncestryMode::kPartial : AncestryMode::kFull,

@@ -24,6 +24,12 @@ Checks things no generic tool enforces:
    `MetricsRegistry::counter()` returns instead), and registrations must
    carry a real metric name: `counter("")` & friends are rejected here
    before the runtime std::invalid_argument backstop fires.
+5. Engine hot paths stay batched: files under src/engine/ must not call
+   per-record `update(...)` on an algorithm -- popped batches go through
+   `update_batch(...)` (the staged LatticeHhh pipeline; byte-identical by
+   contract, so there is never a correctness reason to drop back to the
+   scalar loop). A deliberate exception carries a `// per-record:` comment
+   on the same or the preceding line stating why batching cannot apply.
 
 Exit code 0 when clean, 1 with one line per finding otherwise.
 """
@@ -65,6 +71,12 @@ OBS_DIRECT_RE = re.compile(r"\bobs::(Counter|Gauge|Histogram)\s+\w+\s*[;{(=]")
 # Empty metric name at a registration call site (matched on the raw line,
 # before string stripping).
 OBS_EMPTY_NAME_RE = re.compile(r"\b(gauge_fn|counter|gauge|histogram)\s*\(\s*\"\s*\"")
+
+# Per-record algorithm update in engine code. `update` followed directly by
+# `(` -- update_batch/update_weighted don't match. The member-access prefix
+# keeps free functions and declarations out of scope.
+PER_RECORD_UPDATE_RE = re.compile(r"(?:\.|->)update\s*\(")
+PER_RECORD_WAIVER_RE = re.compile(r"//\s*per-record:")
 
 
 def strip_strings(line: str) -> str:
@@ -177,6 +189,24 @@ def lint_obs_call_sites(path: Path, rel: str, findings: list[str]) -> None:
             )
 
 
+def lint_engine_batching(path: Path, rel: str, findings: list[str]) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for row, raw in enumerate(lines):
+        if raw.lstrip().startswith("//"):
+            continue
+        if not PER_RECORD_UPDATE_RE.search(strip_strings(raw)):
+            continue
+        waived = PER_RECORD_WAIVER_RE.search(raw) or (
+            row > 0 and PER_RECORD_WAIVER_RE.search(lines[row - 1])
+        )
+        if not waived:
+            findings.append(
+                f"{rel}:{row + 1}: per-record update() in engine code -- feed "
+                "whole batches through update_batch() (byte-identical by "
+                "contract), or waive with a `// per-record:` comment"
+            )
+
+
 def lint_pragma_once(path: Path, rel: str, findings: list[str]) -> None:
     for line in path.read_text(encoding="utf-8").splitlines():
         stripped = line.strip()
@@ -203,6 +233,8 @@ def main() -> int:
         rel = path.relative_to(args.root).as_posix()
         lint_atomics(path, rel, findings)
         lint_obs_call_sites(path, rel, findings)
+        if "src/engine/" in rel:
+            lint_engine_batching(path, rel, findings)
         if path.suffix == ".hpp":
             lint_pragma_once(path, rel, findings)
             if path.parent.name in HOT_PATH_DIRS:

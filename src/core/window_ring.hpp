@@ -103,6 +103,12 @@ class WindowRing {
     return epochs_ < depth() ? static_cast<std::size_t>(epochs_) : depth();
   }
 
+  /// The live window instance. This is also the ring's batched ingest entry
+  /// point: feed whole record batches through live().update_batch(...) (the
+  /// HhhAlgorithm contract guarantees state byte-identical to per-record
+  /// update() calls); callers owning a rotation budget -- the windowed
+  /// monitor, the engine workers -- split batches at their own epoch
+  /// boundaries before the call.
   [[nodiscard]] Alg& live() noexcept { return *slots_[live_]; }
   [[nodiscard]] const Alg& live() const noexcept { return *slots_[live_]; }
 

@@ -46,6 +46,25 @@ void WindowedHhhMonitor::update(Key128 key) {
   maybe_rotate();
 }
 
+void WindowedHhhMonitor::update_batch(const Key128* keys, std::size_t n) {
+  while (n != 0) {
+    // Cap each chunk at the packets left in the live epoch, so the rotation
+    // fires on exactly the packet the per-packet path would rotate on.
+    const std::uint64_t live_n = ring_.live().stream_length();
+    if (live_n >= epoch_packets_) {  // defensive: never loop on a full epoch
+      maybe_rotate();
+      continue;
+    }
+    const std::uint64_t room = epoch_packets_ - live_n;
+    const std::size_t take =
+        n < room ? n : static_cast<std::size_t>(room);
+    ring_.live().update_batch(keys, take);
+    maybe_rotate();
+    keys += take;
+    n -= take;
+  }
+}
+
 HhhSet WindowedHhhMonitor::current(double theta) const {
   return ring_.live().output(theta);
 }

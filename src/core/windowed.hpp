@@ -46,6 +46,12 @@ class WindowedHhhMonitor {
   /// Direct fully-specified-key ingest (the engine producers' currency);
   /// lets one key stream drive the monitor and the engine identically.
   void update(Key128 key);
+  /// Batched ingest: equivalent to n update(keys[i]) calls, byte for byte.
+  /// Batches are split internally at epoch boundaries, so a rotation lands
+  /// on exactly the same packet as the per-packet path -- batch sizing
+  /// never shifts a window edge. Feeds WindowRing::live() through
+  /// HhhAlgorithm::update_batch (the staged LatticeHhh pipeline).
+  void update_batch(const Key128* keys, std::size_t n);
 
   /// HHH set of the current (partial) epoch.
   [[nodiscard]] HhhSet current(double theta) const;

@@ -170,6 +170,9 @@ void HhhEngine::bind_metrics() {
                                 "producer batch push latency (ns)");
   obs_.pop_ns = &reg.histogram("rhhh_engine_pop_batch_ns",
                                "worker drain-pass latency (ns)");
+  obs_.batch_fill = &reg.histogram(
+      "rhhh_engine_batch_fill",
+      "records consumed per productive drain pass (batching efficacy)");
   obs_.quiesce_ns = &reg.histogram(
       "rhhh_engine_quiesce_ns", "epoch boundary request->all-acked wait (ns)");
   obs_.rotation_ns =
@@ -595,7 +598,10 @@ std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
   for (std::uint32_t p = 0; p < producers(); ++p) {
     const std::size_t n = ring(p, w).try_pop_n(batch.data(), batch.size());
     if (n == 0) continue;
-    for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+    // Whole popped batches feed the staged LatticeHhh pipeline (block-RNG,
+    // survivor compaction, prefetched apply) -- state remains byte-identical
+    // to per-record update() calls by the update_batch contract.
+    lattice.update_batch(batch.data(), n);
     // order: relaxed -- pop counter; record visibility came from the ring.
     ring_popped_[p * workers_.size() + w]->fetch_add(n, std::memory_order_relaxed);
     total += n;
@@ -604,6 +610,9 @@ std::size_t HhhEngine::drain_pass(std::uint32_t w, std::vector<Key128>& batch) {
   if (total != 0) {
     ws.consumed.fetch_add(total, std::memory_order_relaxed);
     if (obs_.pop_ns != nullptr) obs_.pop_ns->record_since(obs_t0);
+    // Batching efficacy: how full each productive drain pass ran (idle
+    // passes are skipped for the same reason pop_ns skips them).
+    if (obs_.batch_fill != nullptr) obs_.batch_fill->record(total);
   }
   return total;
 }
@@ -701,7 +710,7 @@ void HhhEngine::boundary_drain(std::uint32_t w, std::vector<Key128>& batch) {
       const std::size_t n =
           r.try_pop_n(batch.data(), std::min(batch.size(), left));
       if (n == 0) break;
-      for (std::size_t i = 0; i < n; ++i) lattice.update(batch[i]);
+      lattice.update_batch(batch.data(), n);
       // order: relaxed -- consumed counter (see drain_pass).
       ws.consumed.fetch_add(n, std::memory_order_relaxed);
       popped += n;

@@ -467,6 +467,7 @@ class HhhEngine {
     obs::MetricsRegistry* reg = nullptr;
     obs::Histogram* push_ns = nullptr;        ///< producer batch push latency
     obs::Histogram* pop_ns = nullptr;         ///< worker drain-pass latency
+    obs::Histogram* batch_fill = nullptr;     ///< records consumed per drain pass
     obs::Histogram* quiesce_ns = nullptr;     ///< request -> all-acked wait
     obs::Histogram* rotation_ns = nullptr;    ///< full rotate_locked() cost
     obs::Histogram* rotation_drift_ns = nullptr;  ///< budget-spent -> rotation

@@ -39,6 +39,7 @@ class CountMinHh {
     }
     width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
     depth_ = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(std::log(1.0 / delta))));
+    depth_ = std::min(depth_, kMaxDepth);
     rows_.assign(width_ * depth_, 0);
     row_seed_.resize(depth_);
     for (std::size_t d = 0; d < depth_; ++d) row_seed_[d] = mix64(seed + d + 1);
@@ -49,13 +50,38 @@ class CountMinHh {
     return CountMinHh(cfg.eps_a, cfg.delta_a, cfg.capacity, cfg.seed);
   }
 
+  /// The key hash the row-slot derivation starts from; see hash_of /
+  /// prefetch / increment_hashed in space_saving.hpp for the batched
+  /// hash/probe-split contract they implement.
+  [[nodiscard]] static std::uint64_t hash_of(const Key& k) noexcept {
+    return Hash{}(k);
+  }
+
+  /// Pull every row cell for hash `h` toward L1 ahead of an
+  /// increment_hashed(); with depth ~7 rows of eps^-1-wide arrays, each row
+  /// touch is an independent likely-cold line.
+  void prefetch(std::uint64_t h) const noexcept {
+    for (std::size_t d = 0; d < depth_; ++d) {
+      __builtin_prefetch(rows_.data() + d * width_ + slot(h, d), 1, 3);
+    }
+  }
+
   void increment(const Key& k, std::uint64_t w = 1) {
+    increment_hashed(k, Hash{}(k), w);
+  }
+
+  /// increment() with the key hash precomputed (`h` must equal hash_of(k)).
+  /// Slots are derived row-by-row into a stack array first: the mix64 chain
+  /// per row is data-parallel across rows, so the compiler is free to
+  /// vectorize the derivation before the (gather-shaped) cell updates.
+  void increment_hashed(const Key& k, std::uint64_t h, std::uint64_t w = 1) {
     if (w == 0) return;
     total_ += w;
-    const std::uint64_t h = Hash{}(k);
+    std::size_t slots[kMaxDepth];
+    for (std::size_t d = 0; d < depth_; ++d) slots[d] = slot(h, d);
     std::uint64_t est = UINT64_MAX;
     for (std::size_t d = 0; d < depth_; ++d) {
-      std::uint64_t& cell = rows_[d * width_ + slot(h, d)];
+      std::uint64_t& cell = rows_[d * width_ + slots[d]];
       cell += w;
       est = std::min(est, cell);
     }
@@ -139,6 +165,11 @@ class CountMinHh {
   }
 
  private:
+  /// Upper bound on depth (ceil(ln 1/delta)): 64 rows corresponds to
+  /// delta < 1e-27, far past any usable configuration; it exists so
+  /// increment_hashed can stage row slots in a fixed stack array.
+  static constexpr std::size_t kMaxDepth = 64;
+
   [[nodiscard]] std::size_t slot(std::uint64_t h, std::size_t d) const noexcept {
     return static_cast<std::size_t>(mix64(h ^ row_seed_[d]) % width_);
   }

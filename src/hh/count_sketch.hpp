@@ -41,6 +41,7 @@ class CountSketchHh {
     // which the ablation reports honestly).
     width_ = std::min<std::size_t>(width_, 1 << 16);
     depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta))) | 1;  // odd
+    depth_ = std::min(depth_, kMaxDepth - 1) | 1;
     rows_.assign(width_ * depth_, 0);
     row_seed_.resize(depth_);
     for (std::size_t d = 0; d < depth_; ++d) row_seed_[d] = mix64(seed + 31 * d + 7);
@@ -51,14 +52,34 @@ class CountSketchHh {
     return CountSketchHh(cfg.eps_a, cfg.delta_a, cfg.capacity, cfg.seed);
   }
 
-  void increment(const Key& k, std::uint64_t w = 1) {
-    if (w == 0) return;
-    total_ += w;
-    const std::uint64_t h = Hash{}(k);
+  /// Batched hash/probe split (see space_saving.hpp for the contract).
+  [[nodiscard]] static std::uint64_t hash_of(const Key& k) noexcept {
+    return Hash{}(k);
+  }
+
+  /// Pull every row cell for hash `h` toward L1 ahead of increment_hashed().
+  void prefetch(std::uint64_t h) const noexcept {
     for (std::size_t d = 0; d < depth_; ++d) {
       const std::uint64_t hd = mix64(h ^ row_seed_[d]);
-      const std::size_t slot = static_cast<std::size_t>(hd % width_);
-      const std::int64_t sign = (hd >> 63) != 0 ? 1 : -1;
+      __builtin_prefetch(rows_.data() + d * width_ + hd % width_, 1, 3);
+    }
+  }
+
+  void increment(const Key& k, std::uint64_t w = 1) {
+    increment_hashed(k, Hash{}(k), w);
+  }
+
+  /// increment() with the key hash precomputed. The per-row mix64 chain is
+  /// staged into a stack array (data-parallel across rows, vectorizable)
+  /// before the signed cell updates.
+  void increment_hashed(const Key& k, std::uint64_t h, std::uint64_t w = 1) {
+    if (w == 0) return;
+    total_ += w;
+    std::uint64_t hd[kMaxDepth];
+    for (std::size_t d = 0; d < depth_; ++d) hd[d] = mix64(h ^ row_seed_[d]);
+    for (std::size_t d = 0; d < depth_; ++d) {
+      const std::size_t slot = static_cast<std::size_t>(hd[d] % width_);
+      const std::int64_t sign = (hd[d] >> 63) != 0 ? 1 : -1;
       rows_[d * width_ + slot] += sign * static_cast<std::int64_t>(w);
     }
     track(k);
@@ -146,6 +167,10 @@ class CountSketchHh {
   }
 
  private:
+  /// Depth bound for the increment_hashed() stack staging; depth_ is
+  /// ceil(ln 1/delta) | 1, so 64 covers every representable configuration.
+  static constexpr std::size_t kMaxDepth = 64;
+
   void track(const Key& k) {
     tracked_.insert_or_assign(k, 1);
     if (tracked_.size() <= 2 * track_cap_) return;

@@ -40,28 +40,60 @@ class SpaceSaving {
     return SpaceSaving(cfg.capacity);
   }
 
+  /// The key hash this instance's index uses. Exposed so batched callers can
+  /// hash once, prefetch(), and later probe via increment_hashed() /
+  /// find-paths without paying the hash again (the hash/probe split).
+  [[nodiscard]] static std::uint64_t hash_of(const Key& k) noexcept {
+    return Hash{}(k);
+  }
+
+  /// Pull the index slots for hash `h` toward L1 ahead of an
+  /// increment_hashed(). Safe to issue for any hash value.
+  void prefetch(std::uint64_t h) const noexcept { index_.prefetch(h); }
+
+  /// Pull the counter cell of key `k` toward L1: a dependent second-stage
+  /// prefetch (the cell address needs one index probe, so issue this at a
+  /// shorter distance than prefetch(), once the slot line has arrived).
+  void prefetch_counter(const Key& k, std::uint64_t h) const noexcept {
+    if (const std::uint32_t* slot = index_.find_hashed(k, h)) {
+      __builtin_prefetch(counters_.data() + *slot, 1, 3);
+    }
+  }
+
   /// Count `w` arrivals of key `k`. O(1) for w == 1 (the RHHH datapath);
   /// weighted updates walk at most the number of distinct counts crossed.
   void increment(const Key& k, std::uint64_t w = 1) {
+    increment_hashed(k, hash_of(k), w);
+  }
+
+  /// increment() with the key hash precomputed. The lookup and the
+  /// insertion share ONE index probe (find-or-insert), so every arrival
+  /// hashes and walks the probe sequence exactly once -- tracked hit,
+  /// fresh-counter insert and eviction alike.
+  void increment_hashed(const Key& k, std::uint64_t h, std::uint64_t w = 1) {
     if (w == 0) return;
     total_ += w;
     std::uint32_t c;
     bool attached = true;
-    if (const std::uint32_t* slot = index_.find(k)) {
+    auto [slot, inserted] = index_.try_emplace_hashed(k, h, kNil);
+    if (!inserted) {
       c = *slot;
     } else if (size_ < cap_) {
       c = static_cast<std::uint32_t>(size_++);
       counters_[c] = Counter{k, 0, 0, kNil, kNil, kNil};
-      index_.try_emplace(k, c);
+      *slot = c;
       attached = false;
     } else {
       // Evict the minimum: replace its key, inherit its count as the error
-      // bound (the classic Space-Saving replacement step).
+      // bound (the classic Space-Saving replacement step). Write the slot
+      // value BEFORE erasing the evicted key: backward-shift deletion may
+      // relocate our freshly inserted entry (copying its value along), so
+      // the pointer is only trustworthy until the erase.
       const std::uint32_t b = bucket_head_;
       c = buckets_[b].head;
       const std::uint64_t min = buckets_[b].value;
+      *slot = c;
       index_.erase(counters_[c].key);
-      index_.try_emplace(k, c);
       counters_[c].key = k;
       counters_[c].error = min;
       counters_[c].count = min;

@@ -2,6 +2,7 @@
 // algorithm interface every HHH implementation satisfies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -72,6 +73,16 @@ class HhhAlgorithm {
 
   /// Process one packet with fully-specified key `x`.
   virtual void update(Key128 x) = 0;
+  /// Process `n` packets in one call: the batched hot path. The contract is
+  /// strict equivalence -- update_batch(keys, n) leaves the algorithm in
+  /// EXACTLY the state n update(keys[i]) calls in order would (randomized
+  /// implementations must consume their RNG draws in packet order), so
+  /// callers may mix the two paths freely and split batches anywhere. The
+  /// default is the per-packet loop; LatticeHhh overrides it with a staged
+  /// block-RNG / survivor-compaction / prefetched-apply pipeline.
+  virtual void update_batch(const Key128* keys, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) update(keys[i]);
+  }
   /// Process a weighted arrival (e.g. byte counting). Weight w acts as w
   /// consecutive packets of the same key.
   virtual void update_weighted(Key128 x, std::uint64_t w) = 0;

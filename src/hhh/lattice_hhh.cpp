@@ -9,6 +9,11 @@ template <class Backend>
 LatticeHhh<Backend>::LatticeHhh(const Hierarchy& h, LatticeMode mode, LatticeParams p)
     : h_(&h), mode_(mode), p_(p), rng_(p.seed) {
   H_ = static_cast<std::uint32_t>(h.size());
+  if (H_ >= (1u << 16)) {
+    // update_batch packs the lattice node into 16 bits of a pick word; every
+    // shipped hierarchy is orders of magnitude below this.
+    throw std::invalid_argument("LatticeHhh: hierarchy size must be < 65536");
+  }
   if (!(p_.eps > 0.0) || p_.eps >= 1.0) {
     throw std::invalid_argument("LatticeHhh: eps must be in (0,1)");
   }
@@ -71,6 +76,137 @@ LatticeHhh<Backend>::LatticeHhh(const Hierarchy& h, LatticeMode mode, LatticePar
     }
   }
   if (p_.r > 1) name_ += "(r=" + std::to_string(p_.r) + ")";
+}
+
+template <class Backend>
+void LatticeHhh<Backend>::apply_survivors() {
+  // Stage 3: replay the compacted work list against the per-node backends.
+  // Survivors sit in packet order and each node's backend is an independent
+  // structure, so the resulting state is byte-identical to the per-packet
+  // interleaving. For backends with the hash/probe split, index slots are
+  // prefetched `D` apply steps ahead and counter cells D/2 ahead (the cell
+  // address is a dependent load through the index, so its prefetch runs at
+  // a shorter distance, once the slot line has had time to arrive).
+  const std::size_t m = survivors_.size();
+  if constexpr (backend_prefetchable()) {
+    const std::size_t far = p_.prefetch_distance;
+    const std::size_t near = (far + 1) / 2;
+    constexpr bool has_counter_stage = requires(const Backend& b, const Key128& k,
+                                                std::uint64_t h) {
+      b.prefetch_counter(k, h);
+    };
+    for (std::size_t j = 0; j < m; ++j) {
+      if (far != 0 && j + far < m) {
+        const Survivor& s = survivors_[j + far];
+        hh_[s.node].prefetch(s.hash);
+      }
+      if constexpr (has_counter_stage) {
+        if (far != 0 && j + near < m) {
+          const Survivor& s = survivors_[j + near];
+          hh_[s.node].prefetch_counter(s.mkey, s.hash);
+        }
+      }
+      const Survivor& s = survivors_[j];
+      hh_[s.node].increment_hashed(s.mkey, s.hash, 1);
+    }
+  } else {
+    for (std::size_t j = 0; j < m; ++j) {
+      const Survivor& s = survivors_[j];
+      hh_[s.node].increment(s.mkey, 1);
+    }
+  }
+  updates_ += m;
+}
+
+template <class Backend>
+void LatticeHhh<Backend>::update_batch(const Key128* keys, std::size_t n) {
+  if (n == 0) return;
+  n_ += n;
+  const auto hash_or_zero = [&](const Key128& k) -> std::uint64_t {
+    if constexpr (backend_prefetchable()) return Backend::hash_of(k);
+    (void)k;
+    return 0;
+  };
+  switch (mode_) {
+    case LatticeMode::kRhhh: {
+      // Stage 1: block-RNG with branchless compaction. The generator chain
+      // is serial (state-carried), so it is the loop's latency bound; the
+      // Lemire multiply-shift reduction and the pick store ride for free in
+      // its shadow. Compaction is a blind store plus a flag add -- no
+      // data-dependent branch, so the ~H/V random "survivor" pattern (1 in
+      // 10 for 10-RHHH) costs zero mispredicts, unlike the per-packet
+      // path's d < H branch. Draw i*r+j is packet i's j-th draw -- exactly
+      // the sequence n per-packet update() calls would consume.
+      const std::size_t total_draws = n * p_.r;
+      picks_.resize(total_draws);
+      std::uint64_t* pk = picks_.data();
+      const std::uint64_t v = V_;
+      std::size_t m = 0;
+      for (std::size_t i = 0; i < total_draws; ++i) {
+        const auto d = static_cast<std::uint32_t>(((rng_() >> 32) * v) >> 32);
+        // Dead entries (d >= H) are overwritten by the next iteration; only
+        // pk[0..m) is ever read, and those all carry d < H (< 2^16).
+        pk[m] = (static_cast<std::uint64_t>(i) << 16) | d;
+        m += d < H_ ? 1 : 0;
+      }
+      // Stage 2: survivor build over the compacted picks only -- a passing
+      // draw pays its mask + hash here, once, off the probe path.
+      const std::uint32_t r = p_.r;
+      survivors_.resize(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t e = pk[j];
+        const auto d = static_cast<std::uint32_t>(e & 0xffff);
+        const auto di = static_cast<std::size_t>(e >> 16);
+        const std::size_t pkt = r == 1 ? di : di / r;
+        const Key128 mkey = h_->mask_key(d, keys[pkt]);
+        survivors_[j] =
+            Survivor{d, static_cast<std::uint32_t>(pkt), hash_or_zero(mkey), mkey};
+      }
+      break;
+    }
+    case LatticeMode::kMst: {
+      // Every packet updates all H nodes: the "survivors" are all (packet,
+      // node) pairs, which still amortizes the per-node mask + hash compute
+      // away from the probes and lets the apply loop prefetch across the
+      // whole H*n sequence.
+      survivors_.resize(n * H_);
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t d = 0; d < H_; ++d) {
+          const Key128 mkey = h_->mask_key(d, keys[i]);
+          survivors_[w++] = Survivor{d, static_cast<std::uint32_t>(i),
+                                     hash_or_zero(mkey), mkey};
+        }
+      }
+      break;
+    }
+    case LatticeMode::kSampledMst: {
+      // One draw per packet (same order as per-packet update()), compacted
+      // branchlessly as in kRhhh; a sampled packet fans out across all H
+      // nodes in stage 2.
+      picks_.resize(n);
+      std::uint64_t* pk = picks_.data();
+      const std::uint64_t v = V_;
+      std::size_t m = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto d = static_cast<std::uint32_t>(((rng_() >> 32) * v) >> 32);
+        pk[m] = i;
+        m += d < H_ ? 1 : 0;
+      }
+      survivors_.resize(m * H_);
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto pkt = static_cast<std::size_t>(pk[j]);
+        for (std::uint32_t d = 0; d < H_; ++d) {
+          const Key128 mkey = h_->mask_key(d, keys[pkt]);
+          survivors_[w++] = Survivor{d, static_cast<std::uint32_t>(pkt),
+                                     hash_or_zero(mkey), mkey};
+        }
+      }
+      break;
+    }
+  }
+  apply_survivors();
 }
 
 template <class Backend>

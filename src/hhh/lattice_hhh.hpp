@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -54,6 +55,12 @@ struct LatticeParams {
   /// streams per shard: pin backend_seed engine-wide and vary seed. 0 (the
   /// default) derives backend seeds from `seed` as before.
   std::uint64_t backend_seed = 0;
+  /// Software-prefetch lookahead of the batched apply loop (survivor slots
+  /// prefetched this many apply steps ahead; 0 disables prefetching). A
+  /// pure performance knob: results are byte-identical for every value.
+  /// ~8 covers an L2 miss at survivor-apply cost on commodity cores;
+  /// bench/ablation_batch_pipeline sweeps it.
+  std::uint32_t prefetch_distance = 8;
 };
 
 template <class Backend>
@@ -90,6 +97,41 @@ class LatticeHhh final : public HhhAlgorithm {
         break;
     }
   }
+
+  /// Batched update (the engine hot path): a staged pipeline equivalent to
+  /// n update() calls in order, byte for byte.
+  ///
+  ///   1. block-RNG     -- all sampling draws for the batch generated in
+  ///                       one tight Lemire-bounded loop with *branchless*
+  ///                       survivor compaction: the serial generator chain
+  ///                       is the loop's latency bound and the reduction,
+  ///                       pick store, and flag add ride in its shadow, so
+  ///                       the random ~H/V survivor pattern costs zero
+  ///                       branch mispredicts (the per-packet path eats one
+  ///                       ~10%-taken branch per draw). Draws are consumed
+  ///                       in packet order (r per packet), so the RNG state
+  ///                       after the batch matches the per-packet path
+  ///                       exactly.
+  ///   2. survivor build -- the compacted picks (draw < H; in 10-RHHH ~1
+  ///                       packet in 10) expand into a dense list carrying
+  ///                       the lattice node, the node-masked key and its
+  ///                       backend hash: the common no-op packet costs one
+  ///                       draw and two blind stores, and the per-node mask
+  ///                       + hash work is paid once here, not at the probe.
+  ///   3. apply         -- survivors replayed in packet order against the
+  ///                       per-node backends, index slots software-
+  ///                       prefetched `prefetch_distance` slots ahead and
+  ///                       counter cells half that distance ahead (the
+  ///                       dependent second touch), for backends exposing
+  ///                       the hash/probe split (Space-Saving, Count-Min,
+  ///                       Count Sketch); others apply unprefeteched.
+  ///
+  /// MST batches stage 2/3 over every (packet, node) pair (no draws);
+  /// Sampled-MST draws once per packet and fans survivors across all H
+  /// nodes. Per-node increment order equals the per-packet path's, so all
+  /// modes produce identical output()/estimate() state (golden-digest
+  /// pinned in tests/test_batch.cpp).
+  void update_batch(const Key128* keys, std::size_t n) override;
 
   /// Weighted arrival: behaves as w consecutive packets of key x, but the
   /// randomized modes draw once and feed the whole weight through (the
@@ -154,6 +196,21 @@ class LatticeHhh final : public HhhAlgorithm {
     return hh_[node];
   }
   [[nodiscard]] std::size_t counters_per_node() const noexcept { return counters_; }
+  /// Apply-loop prefetch lookahead (see LatticeParams::prefetch_distance);
+  /// adjustable at runtime for sweeps -- never changes results.
+  [[nodiscard]] std::uint32_t prefetch_distance() const noexcept {
+    return p_.prefetch_distance;
+  }
+  void set_prefetch_distance(std::uint32_t d) noexcept { p_.prefetch_distance = d; }
+  /// True iff the backend exposes the hash/probe split the batched apply
+  /// loop prefetches through (hash_of / prefetch / increment_hashed).
+  [[nodiscard]] static constexpr bool backend_prefetchable() noexcept {
+    return requires(Backend& b, const Backend& cb, const Key128& k, std::uint64_t h) {
+      { Backend::hash_of(k) } -> std::convertible_to<std::uint64_t>;
+      cb.prefetch(h);
+      b.increment_hashed(k, h, std::uint64_t{1});
+    };
+  }
   [[nodiscard]] double eps_a() const noexcept { return eps_a_; }
   [[nodiscard]] double eps_s() const noexcept { return eps_s_; }
   /// The additive conditioned-frequency slack used by output (0 for MST).
@@ -205,6 +262,22 @@ class LatticeHhh final : public HhhAlgorithm {
   Xoroshiro128 rng_;
   std::uint64_t n_ = 0;
   std::uint64_t updates_ = 0;
+
+  // -- update_batch() scratch (reused across batches; no semantic state, so
+  //    clear() leaves them alone and they never serialize) ------------------
+  /// One survivor of the compaction pass: packet order is preserved, so the
+  /// apply loop replays increments in exactly the per-packet sequence.
+  struct Survivor {
+    std::uint32_t node;  ///< lattice node the draw selected
+    std::uint32_t pkt;   ///< originating batch index (diagnostics/asserts)
+    std::uint64_t hash;  ///< Backend::hash_of(mkey); 0 if not prefetchable
+    Key128 mkey;         ///< node-masked key, ready to apply
+  };
+  /// Stage-1 compacted picks, packed (draw_index << 16) | node -- H < 2^16
+  /// is enforced at construction, and only the surviving prefix is read.
+  std::vector<std::uint64_t> picks_;
+  std::vector<Survivor> survivors_;    ///< stage-2 masked + hashed work list
+  void apply_survivors();              ///< stage 3 (lattice_hhh.cpp)
 };
 
 }  // namespace rhhh
