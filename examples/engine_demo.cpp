@@ -9,13 +9,19 @@
 // last-K query from disk (inspect it further with store_tool).
 //
 // With --metrics PORT (0 = kernel-assigned) the telemetry exporter serves
-// GET /metrics, /metrics.json, /trace and /healthz on 127.0.0.1 for the
-// whole run -- `curl 127.0.0.1:PORT/metrics` while the demo ingests.
-// --serve-ms MS keeps serving that long after the run finishes (for
-// external scrapers); the demo always self-scrapes once at the end and
-// fails if the engine's own families are missing from the exposition.
+// GET /metrics, /metrics.json, /trace, /health and /healthz on 127.0.0.1
+// for the whole run -- `curl 127.0.0.1:PORT/metrics` while the demo
+// ingests. --serve-ms MS keeps serving that long after the run finishes
+// (for external scrapers); the demo always self-scrapes once at the end
+// and fails if the engine's own families are missing from the exposition
+// or /health serves no certificate ledger.
 //
-// Run:  ./engine_demo [packets] [--archive DIR] [--metrics PORT [--serve-ms MS]]
+// --watchdog-ms MS arms the engine's stall watchdog at that period;
+// --watchdog-dump PATH points its flight recorder at a file.
+//
+// Run:  ./engine_demo [packets] [--archive DIR] [--metrics PORT
+//                     [--serve-ms MS]] [--watchdog-ms MS]
+//                     [--watchdog-dump PATH]
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -59,6 +65,8 @@ int main(int argc, char** argv) {
   bool serve_metrics = false;
   std::uint16_t metrics_port = 0;
   std::uint64_t serve_ms = 0;
+  std::uint32_t watchdog_ms = 0;
+  std::string watchdog_dump;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--archive") == 0 && i + 1 < argc) {
       archive_dir = argv[++i];
@@ -68,6 +76,11 @@ int main(int argc, char** argv) {
           static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--serve-ms") == 0 && i + 1 < argc) {
       serve_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      watchdog_ms =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--watchdog-dump") == 0 && i + 1 < argc) {
+      watchdog_dump = argv[++i];
     } else {
       packets = std::strtoull(argv[i], nullptr, 10);
     }
@@ -108,7 +121,13 @@ int main(int argc, char** argv) {
       store_baseline = 0;  // fresh directory
     }
   }
+  cfg.health.watchdog_millis = watchdog_ms;
+  cfg.health.dump_path = watchdog_dump;
   const std::unique_ptr<rhhh::HhhEngine> eng = rhhh::make_engine(cfg);
+  // The engine outlives every exporter request (the exporter is stopped, or
+  // was never started, before eng dies at end of main), so handing its
+  // ledger to the /health route is safe.
+  exporter.set_health_source(eng->health());
   eng->start();
   std::printf("engine: %u producers -> %u shards, %s routing, %s overflow\n\n",
               eng->producers(), eng->workers(), to_string(cfg.policy).data(),
@@ -196,6 +215,12 @@ int main(int argc, char** argv) {
         rhhh::obs::http_get_local(exporter.port(), "/metrics");
     if (body.find("rhhh_engine_push_batch_ns") == std::string::npos) {
       std::printf("ERROR: /metrics is missing the engine families\n");
+      return 1;
+    }
+    const std::string health =
+        rhhh::obs::http_get_local(exporter.port(), "/health");
+    if (health.find("\"certificates\"") == std::string::npos) {
+      std::printf("ERROR: /health is missing the certificate ledger\n");
       return 1;
     }
     std::printf("\nself-scrape ok: %zu bytes of exposition, %" PRIu64

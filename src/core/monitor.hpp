@@ -130,6 +130,31 @@ struct ArchiveConfig {
   [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };
 
+/// Estimator health layer settings (src/obs/health.hpp): per-window
+/// accuracy certificates plus the stall watchdog. Only active when
+/// EngineConfig::telemetry is on -- with telemetry off every health hook is
+/// the same single null test as the rest of the layer.
+struct HealthConfig {
+  /// When true, each rotation probes the just-sealed shard lattices and
+  /// stamps an AccuracyCertificate (exported as rhhh_health_* gauges and
+  /// served by the exporter's /health route). Probe cost is O(nodes x
+  /// counters) per rotation -- control plane only, never the packet path.
+  bool certificates = true;
+  /// Certificates retained for /health and the flight recorder.
+  std::size_t keep = 16;
+  /// >0: run a StallWatchdog thread sampling engine progress this often.
+  /// 0 (default) disables the watchdog.
+  std::uint32_t watchdog_millis = 0;
+  /// Flight-recorder dump file written when the watchdog detects a stall
+  /// (TraceRing contents + last K certificates + EngineStats). Empty = keep
+  /// the dump in memory only (StallWatchdog::last_dump()).
+  std::string dump_path;
+
+  [[nodiscard]] bool watchdog_enabled() const noexcept {
+    return watchdog_millis > 0;
+  }
+};
+
 /// Configuration of the sharded multi-core ingest engine: a MonitorConfig
 /// restricted to the (mergeable) lattice algorithms, plus the fan-out
 /// topology. See HhhEngine (engine/engine.hpp) for the moving parts and
@@ -190,6 +215,11 @@ struct EngineConfig {
   /// gauges are last-writer-wins; pass a private registry for isolation.
   bool telemetry = true;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Estimator-side health: accuracy certificates at rotation and the
+  /// optional stall watchdog. Gated behind `telemetry` like the rest of
+  /// the layer.
+  HealthConfig health{};
 };
 
 class HhhEngine;  // engine/engine.hpp

@@ -4,11 +4,46 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "store/archive.hpp"
 
 namespace rhhh {
+
+namespace {
+
+/// EngineStats as a flat JSON object -- the "stats" section of the stall
+/// watchdog's flight-recorder dump.
+std::string engine_stats_json(const EngineStats& s) {
+  std::string out = "{";
+  bool first = true;
+  const auto field = [&](const char* k, std::uint64_t v) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("offered", s.offered);
+  field("consumed", s.consumed);
+  field("dropped", s.dropped);
+  field("backpressure_waits", s.backpressure_waits);
+  field("epochs", s.epochs);
+  field("window_epochs", s.window_epochs);
+  field("archived_windows", s.archived_windows);
+  field("archive_queue_drops", s.archive_queue_drops);
+  field("archive_errors", s.archive_errors);
+  field("trend_cache_hits", s.trend_cache_hits);
+  field("budget_rotations", s.budget_rotations);
+  field("rotation_drift_ns_total", s.rotation_drift_ns_total);
+  field("late_rotations", s.late_rotations);
+  out += '}';
+  return out;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------- Producer ----
 
@@ -148,6 +183,7 @@ HhhEngine::HhhEngine(const EngineConfig& cfg)
   if (!cfg_.telemetry) cfg_.archive.telemetry = false;
   if (cfg_.archive.metrics == nullptr) cfg_.archive.metrics = cfg_.metrics;
   bind_metrics();
+  bind_health();
 }
 
 HhhEngine::~HhhEngine() {
@@ -306,6 +342,57 @@ void HhhEngine::unbind_metrics() {
   obs_.reg = nullptr;
 }
 
+void HhhEngine::bind_health() {
+  // The whole health layer rides the telemetry switch: an uninstrumented
+  // engine carries no ledger, no watchdog, and no rotation-path probe cost
+  // beyond one null test.
+  if (!cfg_.telemetry) return;
+  if (cfg_.health.certificates) {
+    health_ = std::make_unique<obs::HealthLedger>(obs_.reg, cfg_.health.keep);
+  }
+  if (!cfg_.health.watchdog_enabled()) return;
+  obs::StallWatchdog::Config wcfg;
+  wcfg.period_ns =
+      static_cast<std::uint64_t>(cfg_.health.watchdog_millis) * 1'000'000;
+  wcfg.dump_path = cfg_.health.dump_path;
+  // The sampler runs on the watchdog's thread while the engine may be
+  // stalled inside a control op: it must stay lock-free (NEVER snap_mu_ --
+  // a wedged rotation HOLDS snap_mu_, and diagnosing exactly that case is
+  // the watchdog's job). Everything below is relaxed atomic loads.
+  const std::int64_t period = static_cast<std::int64_t>(wcfg.period_ns);
+  auto sampler = [this, period]() -> obs::StallWatchdog::Progress {
+    obs::StallWatchdog::Progress p;
+    for (const auto& ws : workers_) {
+      // order: relaxed -- statistic sampled at watchdog cadence.
+      p.consumed += ws->consumed.load(std::memory_order_relaxed);
+    }
+    for (const auto& r : rings_) p.backlog += r->size_approx();
+    // order: relaxed -- statistic sampled at watchdog cadence.
+    p.window_epochs = window_epochs_.load(std::memory_order_relaxed);
+    // order: relaxed -- liveness probe; a stale read costs one period.
+    if (windowed() && running_.load(std::memory_order_relaxed)) {
+      const std::int64_t now =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      // order: relaxed x2 -- stale-tolerant budget state (see budget_due);
+      // "overdue" means a full watchdog period past the ideal boundary.
+      const std::int64_t deadline =
+          epoch_deadline_ns_.load(std::memory_order_relaxed);
+      const std::int64_t mark =
+          budget_spent_ns_.load(std::memory_order_relaxed);
+      p.rotation_overdue =
+          (cfg_.epoch_millis > 0 && deadline != 0 && now > deadline + period) ||
+          (mark != 0 && now > mark + period);
+    }
+    return p;
+  };
+  // collect_stats() is all relaxed loads -- safe from the watchdog thread
+  // even while the engine is wedged.
+  auto stats_fn = [this] { return engine_stats_json(collect_stats()); };
+  watchdog_ = std::make_unique<obs::StallWatchdog>(
+      std::move(wcfg), std::move(sampler), std::move(stats_fn), health_.get(),
+      obs_.trace, obs_.reg);
+}
+
 std::unique_ptr<RhhhSpaceSaving> HhhEngine::make_shard_lattice(
     std::uint64_t salt) const {
   LatticeParams lp = params_;
@@ -374,6 +461,10 @@ void HhhEngine::start() {
     archive_thread_ = std::thread(
         [this, arch = archive_.get(), agen] { archive_loop(arch, agen); });
   }
+  // Last: the watchdog observes a fully started engine from its first
+  // sample (its sampler never touches snap_mu_, so starting it under the
+  // lock is fine).
+  if (watchdog_ != nullptr) watchdog_->start();
 }
 
 void HhhEngine::stop() {
@@ -384,6 +475,10 @@ void HhhEngine::stop() {
   // pairs with start()'s release store so the losing racer of two stop()
   // calls returns seeing a fully-started engine, never a half-built one.
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Retire the watchdog before the workers stop consuming: a draining
+  // shutdown must never read as a stall. Its thread never takes snap_mu_,
+  // so the join under the lock cannot deadlock.
+  if (watchdog_ != nullptr) watchdog_->stop();
   {
     std::lock_guard<std::mutex> lk(ctl_mu_);
     ctl_cv_.notify_all();
@@ -633,6 +728,15 @@ void HhhEngine::worker_loop(std::uint32_t w) {
   const bool cooperative = windowed() && cfg_.cooperative_rotation;
   bool claimed = false;
   for (;;) {
+    // TEST HOOK (see test_block_worker): park while singled out. Costs the
+    // production path one relaxed load + compare per drain pass.
+    // order: relaxed -- poll-only injection flag; no payload rides on it.
+    while (stall_worker_.load(std::memory_order_relaxed) == w) {
+      // order: relaxed -- stop() unparks us; its acq_rel flip is re-checked
+      // with proper ordering by the shutdown path below.
+      if (!running_.load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
     const std::size_t got = drain_pass(w, batch);
     if (metering && got != 0) meter_consumed(got);
     if (cooperative && got != 0 && !claimed && budget_due()) {
@@ -1078,6 +1182,15 @@ void HhhEngine::rotate_locked(std::uint32_t self, std::vector<Key128>* self_batc
   if (archive_ != nullptr) {
     enqueue_archive(sealed_drop, duration_ns, wall_start_ns, wall_end_ns);
   }
+  // Certificate stamping shares enqueue_archive()'s contract: the workers
+  // have resumed into the fresh window, but the just-sealed shard windows
+  // stay immutable until the next rotation (which needs snap_mu_, held
+  // here) -- so probing them costs control-plane time only.
+  if (health_ != nullptr) {
+    // order: relaxed -- just bumped under snap_mu_ (held); stable here.
+    stamp_certificate(window_epochs_.load(std::memory_order_relaxed),
+                      sealed_drop);
+  }
   if (obs_.rotation_ns != nullptr) {
     const std::uint64_t now = obs::now_ns();
     const std::uint64_t rot_ns = now >= obs_t0 ? now - obs_t0 : 0;
@@ -1094,6 +1207,16 @@ void HhhEngine::rotate_locked(std::uint32_t self, std::vector<Key128>* self_batc
 void HhhEngine::rotate_epoch() {
   std::lock_guard<std::mutex> snap_lk(snap_mu_);
   rotate_locked();
+}
+
+void HhhEngine::stamp_certificate(std::uint64_t sealed_epoch,
+                                  std::uint64_t sealed_drop) {
+  std::vector<const RhhhSpaceSaving*> shards;
+  shards.reserve(workers_.size());
+  for (const auto& ws : workers_) shards.push_back(&ws->ring.sealed(0));
+  health_->stamp(obs::certify_window(
+      shards, sealed_epoch, sealed_drop,
+      static_cast<std::int64_t>(obs::now_ns())));
 }
 
 WindowedEngineSnapshot HhhEngine::window_snapshot() {

@@ -97,6 +97,8 @@ class MetricsRegistry;  // obs/metrics.hpp -- forward-declared so the
 class Gauge;            // engine header stays decoupled from the telemetry
 class Histogram;        // layer; all recording happens in engine.cpp.
 class TraceRing;        // obs/trace_ring.hpp
+class HealthLedger;     // obs/health.hpp -- estimator health layer
+class StallWatchdog;
 }
 
 namespace rhhh {
@@ -259,6 +261,31 @@ class HhhEngine {
     return workers_[0]->ring.sealed_count();
   }
 
+  // -- estimator health layer (src/obs/health.hpp) --------------------------
+  /// The certificate ledger, or nullptr (telemetry off or certificates
+  /// disabled). Wire this into MetricsExporter for the /health route.
+  [[nodiscard]] obs::HealthLedger* health() const noexcept {
+    return health_.get();
+  }
+  /// The stall watchdog, or nullptr (telemetry off or watchdog_millis 0).
+  [[nodiscard]] obs::StallWatchdog* watchdog() const noexcept {
+    return watchdog_.get();
+  }
+  /// TEST HOOK: park worker `w`'s loop (it stops consuming and acking until
+  /// unblocked or the engine stops) -- the deliberate stall the watchdog
+  /// acceptance test injects. Never use outside tests: a blocked worker
+  /// deadlocks any control operation that quiesces.
+  void test_block_worker(std::uint32_t w) noexcept {
+    // order: relaxed -- the worker polls this flag; nothing is published
+    // through it and detection latency of one loop pass is fine.
+    stall_worker_.store(w, std::memory_order_relaxed);
+  }
+  /// TEST HOOK: release a test_block_worker() park.
+  void test_unblock_workers() noexcept {
+    // order: relaxed -- same poll-only contract as test_block_worker().
+    stall_worker_.store(kNoWorker, std::memory_order_relaxed);
+  }
+
  private:
   struct WorkerState {
     WindowRing<RhhhSpaceSaving> ring;  ///< live + K sealed window lattices
@@ -353,6 +380,16 @@ class HhhEngine {
   /// outlive the engine); registry-owned histograms/gauges stay, so
   /// successive engines accumulate into the same cumulative families.
   void unbind_metrics();
+  /// Construct the health ledger and stall watchdog per cfg_.health (only
+  /// with telemetry on); called once from the constructor after
+  /// bind_metrics(). The watchdog thread itself starts/stops with the
+  /// engine.
+  void bind_health();
+  /// Probe the just-sealed shard windows and stamp this window's
+  /// AccuracyCertificate into the ledger. Caller must hold snap_mu_, after
+  /// the workers have resumed (sealed(0) is immutable until the next
+  /// rotation, same contract as enqueue_archive()).
+  void stamp_certificate(std::uint64_t sealed_epoch, std::uint64_t sealed_drop);
 
   EngineConfig cfg_;
   std::unique_ptr<Hierarchy> hierarchy_;
@@ -478,6 +515,15 @@ class HhhEngine {
     std::vector<std::string> owned;           ///< gauge_fn names to unregister
   };
   Obs obs_;
+
+  // Estimator health layer (src/obs/health.hpp, cfg_.health): certificate
+  // ledger stamped at rotation under snap_mu_, watchdog thread sampling
+  // lock-free progress state. Both null when telemetry is off.
+  std::unique_ptr<obs::HealthLedger> health_;
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
+  /// Test-only stall injection: the worker whose index matches parks in its
+  /// loop until the flag clears or the engine stops (kNoWorker = none).
+  std::atomic<std::uint32_t> stall_worker_{kNoWorker};
 };
 
 }  // namespace rhhh

@@ -42,4 +42,19 @@ struct BackendConfig {
   std::uint64_t seed = 0;
 };
 
+/// Cheap introspection snapshot of one backend instance, read at probe time
+/// (rotation / scrape) -- never on the packet path. Backends that support
+/// it expose `BackendProbe probe() const`; the estimator health layer
+/// (src/obs/health) folds per-node probes into per-window accuracy
+/// certificates. Plain data only: this header rides in every hot-path TU.
+struct BackendProbe {
+  std::uint64_t total = 0;      ///< arrivals into this instance
+  std::uint64_t min_count = 0;  ///< Space-Saving untracked upper bound
+  std::uint64_t evictions = 0;  ///< cumulative roster evictions (Space-Saving)
+  std::size_t occupancy = 0;    ///< tracked counters / nonzero sketch cells
+  std::size_t capacity = 0;     ///< roster slots / total sketch cells
+  double saturation = 0.0;      ///< roster fill, or max per-row sketch fill
+  double noise = 0.0;           ///< estimated collision noise (eps_a * total)
+};
+
 }  // namespace rhhh

@@ -109,6 +109,26 @@ class CountMinHh {
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
 
+  /// Introspection snapshot for the estimator health layer: per-row fill
+  /// (nonzero cells) and the eps_a * N collision-noise estimate. Scans the
+  /// whole counter array -- probe-time (rotation/scrape) only.
+  [[nodiscard]] BackendProbe probe() const noexcept {
+    BackendProbe p;
+    p.total = total_;
+    p.capacity = width_ * depth_;
+    for (std::size_t d = 0; d < depth_; ++d) {
+      std::size_t fill = 0;
+      for (std::size_t i = 0; i < width_; ++i) {
+        fill += rows_[d * width_ + i] != 0 ? 1 : 0;
+      }
+      p.occupancy += fill;
+      p.saturation = std::max(
+          p.saturation, static_cast<double>(fill) / static_cast<double>(width_));
+    }
+    p.noise = eps_ * static_cast<double>(total_);
+    return p;
+  }
+
   template <class F>
   void for_each(F&& f) const {
     tracked_.for_each([&](const Key& k, const std::uint64_t&) {

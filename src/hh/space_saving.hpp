@@ -97,6 +97,7 @@ class SpaceSaving {
       counters_[c].key = k;
       counters_[c].error = min;
       counters_[c].count = min;
+      ++evictions_;
     }
     advance(c, w, attached);
   }
@@ -123,6 +124,24 @@ class SpaceSaving {
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  /// Roster evictions since construction (or the last clear()). Churn over
+  /// any window is the difference of two readings.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Introspection snapshot for the estimator health layer. O(1).
+  [[nodiscard]] BackendProbe probe() const noexcept {
+    BackendProbe p;
+    p.total = total_;
+    p.min_count = min_bound();
+    p.evictions = evictions_;
+    p.occupancy = size_;
+    p.capacity = cap_;
+    p.saturation =
+        cap_ > 0 ? static_cast<double>(size_) / static_cast<double>(cap_) : 0.0;
+    p.noise = static_cast<double>(min_bound());
+    return p;
+  }
 
   template <class F>
   void for_each(F&& f) const {
@@ -155,6 +174,7 @@ class SpaceSaving {
     index_.clear();
     size_ = 0;
     total_ = 0;
+    evictions_ = 0;
     bucket_head_ = kNil;
     reset_freelist();
   }
@@ -191,6 +211,9 @@ class SpaceSaving {
     if (merged.size() > cap_) merged.resize(cap_);
 
     const std::uint64_t combined_total = total_ + other.total_;
+    // The rebuild below inserts <= cap_ entries into an empty structure, so
+    // it never evicts; churn from both input streams carries through.
+    const std::uint64_t combined_evictions = evictions_ + other.evictions_;
     clear();
     // Rebuild smallest-first so bucket insertion walks stay short.
     for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
@@ -198,6 +221,7 @@ class SpaceSaving {
       counters_[*index_.find(it->key)].error = it->error;
     }
     total_ = combined_total;
+    evictions_ = combined_evictions;
   }
 
   /// Rebuild this summary from a serialized roster (the durable store's
@@ -380,6 +404,7 @@ class SpaceSaving {
   std::size_t cap_;
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rhhh

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hh/backend.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "util/flat_hash_map.hpp"
 
@@ -100,6 +101,14 @@ class HhhAlgorithm {
   [[nodiscard]] virtual std::uint64_t stream_length() const = 0;
   /// Convergence bound psi (Theorem 6.17); 0 for deterministic algorithms.
   [[nodiscard]] virtual double psi() const { return 0.0; }
+  /// Per-node backend introspection probes for the estimator health layer
+  /// (src/obs/health): one BackendProbe per lattice node, in node order.
+  /// Probe-time cost only -- never taken on the packet path. The default is
+  /// empty: algorithms without probeable backends report nothing and the
+  /// health layer degrades to stream-level certificates.
+  [[nodiscard]] virtual std::vector<BackendProbe> health_probes() const {
+    return {};
+  }
   /// Reset to the empty-stream state (same configuration).
   virtual void clear() = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;

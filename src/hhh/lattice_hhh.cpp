@@ -311,6 +311,16 @@ void LatticeHhh<Backend>::merge(const LatticeHhh& other) {
 }
 
 template <class Backend>
+std::vector<BackendProbe> LatticeHhh<Backend>::health_probes() const {
+  std::vector<BackendProbe> out;
+  if constexpr (backend_probeable()) {
+    out.reserve(H_);
+    for (std::uint32_t d = 0; d < H_; ++d) out.push_back(hh_[d].probe());
+  }
+  return out;
+}
+
+template <class Backend>
 void LatticeHhh<Backend>::restore_node(std::uint32_t node,
                                        const std::vector<HhEntry<Key128>>& entries,
                                        std::uint64_t total) {

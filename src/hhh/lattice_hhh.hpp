@@ -211,8 +211,23 @@ class LatticeHhh final : public HhhAlgorithm {
       b.increment_hashed(k, h, std::uint64_t{1});
     };
   }
+  /// True iff the backend exposes the health-layer introspection probe
+  /// (Space-Saving and both sketches do; the deterministic comparison
+  /// backends do not and health_probes() returns empty).
+  [[nodiscard]] static constexpr bool backend_probeable() noexcept {
+    return requires(const Backend& cb) {
+      { cb.probe() } -> std::convertible_to<BackendProbe>;
+    };
+  }
+  /// One BackendProbe per lattice node (empty for unprobeable backends);
+  /// the estimator health layer folds these into accuracy certificates.
+  [[nodiscard]] std::vector<BackendProbe> health_probes() const override;
   [[nodiscard]] double eps_a() const noexcept { return eps_a_; }
   [[nodiscard]] double eps_s() const noexcept { return eps_s_; }
+  /// The Z_{1 - delta/8} quantile correction() is built from (0 for MST);
+  /// exposed so the health layer can recompute the sampling slack at a
+  /// merged cross-shard N.
+  [[nodiscard]] double z_corr() const noexcept { return z_corr_; }
   /// The additive conditioned-frequency slack used by output (0 for MST).
   [[nodiscard]] double correction() const noexcept;
   /// Point estimate f-hat for an arbitrary prefix (Definition 11's

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 
@@ -19,13 +20,17 @@ namespace rhhh::obs {
 
 namespace {
 
-constexpr int kAcceptPollMs = 100;   // stop() latency bound
-constexpr int kRequestPollMs = 500;  // per-request read patience
+constexpr int kAcceptPollMs = 100;        // stop() latency bound
+constexpr int kRequestPollMs = 500;       // per-request read patience
+constexpr std::size_t kMaxHead = 16 * 1024;  // read_request()'s cap
 
 std::string status_line(int code) {
   switch (code) {
     case 200: return "HTTP/1.0 200 OK\r\n";
+    case 400: return "HTTP/1.0 400 Bad Request\r\n";
     case 404: return "HTTP/1.0 404 Not Found\r\n";
+    case 405: return "HTTP/1.0 405 Method Not Allowed\r\n";
+    case 414: return "HTTP/1.0 414 URI Too Long\r\n";
     default: return "HTTP/1.0 500 Internal Server Error\r\n";
   }
 }
@@ -40,16 +45,70 @@ void respond(int fd, int code, const std::string& content_type,
   detail::send_all(fd, out);
 }
 
-std::string request_path(const std::string& req) {
-  // "GET <path> HTTP/1.x"
-  if (req.rfind("GET ", 0) != 0) return {};
-  const std::size_t sp = req.find(' ', 4);
-  if (sp == std::string::npos) return {};
-  return req.substr(4, sp - 4);
+/// "GET <path> HTTP/1.x" -> {0, path}; anything else -> a 4xx code and "".
+/// A head that hit read_request()'s size cap without a terminator is 414,
+/// a recognizable non-GET method is 405, everything unparseable is 400.
+struct ParsedRequest {
+  int error = 0;
+  std::string path;
+};
+
+ParsedRequest parse_request(const std::string& req) {
+  if (req.size() >= kMaxHead && req.find("\r\n\r\n") == std::string::npos) {
+    return {414, {}};
+  }
+  const std::size_t m = req.find(' ');
+  if (m == std::string::npos || m == 0) return {400, {}};
+  const std::size_t sp = req.find(' ', m + 1);
+  if (sp == std::string::npos || sp == m + 1) return {400, {}};
+  if (req.compare(0, m, "GET") != 0) return {405, {}};
+  return {0, req.substr(m + 1, sp - m - 1)};
 }
 
-std::string trace_json(const TraceRing& ring) {
-  const std::vector<TraceRecord> recs = ring.dump();
+/// Split "<route>?<query>" -- routes never contain '?', so everything past
+/// the first one is the query string.
+void split_query(const std::string& path, std::string& route,
+                 std::string& query) {
+  const std::size_t q = path.find('?');
+  route = path.substr(0, q);
+  query = q == std::string::npos ? std::string{} : path.substr(q + 1);
+}
+
+/// The numeric value of `key` in an "a=1&b=2" query string, or `fallback`
+/// when absent/non-numeric.
+std::uint64_t query_u64(const std::string& query, const std::string& key,
+                        std::uint64_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0 && eq + 1 < amp) {
+      std::uint64_t v = 0;
+      bool numeric = true;
+      for (std::size_t i = eq + 1; i < amp; ++i) {
+        const char c = query[i];
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (numeric) return v;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+std::string trace_json(const TraceRing& ring, std::uint64_t limit) {
+  std::vector<TraceRecord> recs = ring.dump();
+  if (limit < recs.size()) {
+    // dump() is oldest-first; ?n= keeps the newest n.
+    recs.erase(recs.begin(),
+               recs.end() - static_cast<std::ptrdiff_t>(limit));
+  }
   std::string out = "{\"recorded\":" + std::to_string(ring.recorded()) +
                     ",\"capacity\":" + std::to_string(ring.capacity()) +
                     ",\"events\":[";
@@ -160,17 +219,27 @@ void MetricsExporter::serve_loop() {
     if (rc <= 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    const std::string path = request_path(detail::read_request(client));
+    const ParsedRequest parsed = parse_request(detail::read_request(client));
     // order: relaxed -- a statistic.
     scrapes_.fetch_add(1, std::memory_order_relaxed);
-    if (path == "/metrics") {
+    // order: acquire -- pairs with set_health_source()'s release store.
+    const HealthLedger* health = health_.load(std::memory_order_acquire);
+    std::string route;
+    std::string query;
+    split_query(parsed.path, route, query);
+    if (parsed.error != 0) {
+      respond(client, parsed.error, "text/plain", "bad request\n");
+    } else if (route == "/metrics") {
       respond(client, 200, "text/plain; version=0.0.4",
               reg_->render_prometheus());
-    } else if (path == "/metrics.json") {
+    } else if (route == "/metrics.json") {
       respond(client, 200, "application/json", reg_->render_json());
-    } else if (path == "/trace" && trace_ != nullptr) {
-      respond(client, 200, "application/json", trace_json(*trace_));
-    } else if (path == "/healthz") {
+    } else if (route == "/trace" && trace_ != nullptr) {
+      respond(client, 200, "application/json",
+              trace_json(*trace_, query_u64(query, "n", ~std::uint64_t{0})));
+    } else if (route == "/health" && health != nullptr) {
+      respond(client, 200, "application/json", health->render_json());
+    } else if (route == "/healthz") {
       respond(client, 200, "text/plain", "ok\n");
     } else {
       respond(client, 404, "text/plain", "not found\n");

@@ -3,8 +3,15 @@
 //
 //   GET /metrics       Prometheus text exposition (0.0.4)
 //   GET /metrics.json  JSON exposition
-//   GET /trace         TraceRing dump as JSON (when a ring is attached)
-//   GET /healthz       "ok"
+//   GET /trace[?n=K]   TraceRing dump as JSON, newest K events (when a
+//                      ring is attached)
+//   GET /health        last-K AccuracyCertificates as JSON (when a
+//                      HealthLedger is attached)
+//   GET /healthz       "ok" (liveness only; /health is the deep check)
+//
+// Malformed requests get clean 4xx + close, never a hang: non-GET
+// methods 405, unparseable request lines 400, request heads exceeding
+// the 16 KiB read cap 414.
 //
 // One background thread, poll()-based accept with a short timeout so
 // stop() converges quickly, one request per connection (Connection:
@@ -22,12 +29,23 @@ namespace rhhh::obs {
 
 class MetricsRegistry;
 class TraceRing;
+class HealthLedger;
 
 class MetricsExporter {
  public:
   /// Serves `reg`; `trace` (optional) enables the /trace route.
   explicit MetricsExporter(MetricsRegistry& reg, TraceRing* trace = nullptr);
   ~MetricsExporter();
+
+  /// Attach (or detach, with nullptr) the /health data source. Safe while
+  /// serving -- demos construct the exporter before the engine that owns
+  /// the ledger exists. The ledger must outlive the exporter or be
+  /// detached first.
+  void set_health_source(const HealthLedger* ledger) noexcept {
+    // order: release -- pairs with the serving thread's acquire load; a
+    // request that observes the pointer must observe the constructed ledger.
+    health_.store(ledger, std::memory_order_release);
+  }
 
   MetricsExporter(const MetricsExporter&) = delete;
   MetricsExporter& operator=(const MetricsExporter&) = delete;
@@ -64,6 +82,7 @@ class MetricsExporter {
 
   MetricsRegistry* reg_;
   TraceRing* trace_;
+  std::atomic<const HealthLedger*> health_{nullptr};
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint16_t> port_{0};

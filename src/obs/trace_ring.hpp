@@ -26,6 +26,7 @@ enum class TraceEvent : std::uint8_t {
   kSegmentRoll,    // arg0 = new segment index, arg1 = closed segment bytes
   kCompaction,     // arg0 = segments deleted, arg1 = duration ns
   kScrape,         // arg0 = exporter scrape count
+  kStall,          // arg0 = consecutive stalled watchdog periods, arg1 = ring backlog
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceEvent e) noexcept {
@@ -40,6 +41,7 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::kSegmentRoll: return "segment_roll";
     case TraceEvent::kCompaction: return "compaction";
     case TraceEvent::kScrape: return "scrape";
+    case TraceEvent::kStall: return "stall";
   }
   return "unknown";
 }

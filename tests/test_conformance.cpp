@@ -31,6 +31,7 @@
 #include "eval/ground_truth.hpp"
 #include "eval/metrics.hpp"
 #include "hhh/lattice_hhh.hpp"
+#include "obs/health.hpp"
 #include "trace/trace_gen.hpp"
 
 namespace rhhh {
@@ -165,6 +166,127 @@ TEST_P(Conformance, TheoremBoundsHoldAtOperatingPoint) {
       }
     }
   }
+}
+
+/// Health-layer tie-in: the per-window AccuracyCertificate's self-reported
+/// additive bound -- (eps_empirical + sampling_slack) * N, recomputed from
+/// nothing but the backends' live min-counts -- must dominate the max
+/// estimation error actually observed against exact ground truth, at every
+/// operating point, for both the randomized mode and the deterministic MST
+/// baseline (where the sampling slack is zero and dominance is
+/// unconditional). Seeds are fixed, so the randomized rows are exact
+/// reruns, not a flakiness budget.
+TEST_P(Conformance, CertificateBoundDominatesObservedError) {
+  const OperatingPoint& pt = kPoints[GetParam()];
+  SCOPED_TRACE(pt.label);
+  const Hierarchy h = make_hierarchy(pt.hierarchy);
+
+  TraceConfig tc = trace_preset(pt.trace);
+  tc.seed = pt.seed;
+  TraceGenerator gen(tc);
+  ExactHhh truth(h);
+  std::vector<Key128> keys;
+  keys.reserve(pt.n);
+  for (std::uint64_t i = 0; i < pt.n; ++i) {
+    keys.push_back(h.key_of(gen.next()));
+    truth.add(keys.back());
+  }
+
+  MonitorConfig base;
+  base.hierarchy = pt.hierarchy;
+  base.eps = pt.eps;
+  base.delta = pt.delta;
+  base.V = pt.V;
+  base.seed = pt.seed;
+
+  const AlgorithmKind roster[] = {pt.randomized, AlgorithmKind::kMst};
+  for (const AlgorithmKind kind : roster) {
+    MonitorConfig cfg = base;
+    cfg.algorithm = kind;
+    if (kind == AlgorithmKind::kMst) cfg.V = 0;
+    const std::unique_ptr<HhhAlgorithm> alg = make_algorithm(h, cfg);
+    SCOPED_TRACE(std::string(alg->name()));
+    const auto* lattice = dynamic_cast<const RhhhSpaceSaving*>(alg.get());
+    ASSERT_NE(lattice, nullptr);
+
+    for (const Key128& k : keys) alg->update(k);
+    const obs::AccuracyCertificate cert =
+        obs::certify_window({lattice}, /*epoch=*/1, /*drops=*/0,
+                            /*stamped_ns=*/0);
+    EXPECT_EQ(cert.stream_length, pt.n);
+    EXPECT_EQ(cert.epoch, 1u);
+    EXPECT_TRUE(cert.converged) << "operating point mis-sized: N below psi";
+    EXPECT_DOUBLE_EQ(cert.eps_configured, lattice->eps_a());
+    if (kind == AlgorithmKind::kMst) {
+      EXPECT_EQ(cert.sampling_slack, 0.0) << "MST has no sampling variance";
+    } else {
+      EXPECT_GT(cert.sampling_slack, 0.0);
+    }
+
+    // The certified bound vs the worst observed error over the output set.
+    const HhhSet out = alg->output(pt.theta);
+    ASSERT_GT(out.size(), 0u);
+    std::vector<Prefix> prefixes;
+    prefixes.reserve(out.size());
+    for (const HhhCandidate& c : out) prefixes.push_back(c.prefix);
+    const std::vector<std::uint64_t> exact = truth.frequencies(prefixes);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      max_err = std::max(
+          max_err, std::abs(out[i].f_est - static_cast<double>(exact[i])));
+    }
+    const double certified = (cert.eps_empirical + cert.sampling_slack) *
+                             static_cast<double>(cert.stream_length);
+    EXPECT_GE(certified, max_err)
+        << "certificate claims a tighter bound than reality: certified "
+        << certified << " < observed max error " << max_err;
+
+    // The empirical eps is itself recomputable from the public probes:
+    // max over nodes of scale * min-count, over N.
+    const std::vector<BackendProbe> probes = lattice->health_probes();
+    ASSERT_EQ(probes.size(), lattice->H());
+    double expect_eps = 0.0;
+    for (const BackendProbe& p : probes) {
+      expect_eps = std::max(expect_eps,
+                            lattice->scale() * static_cast<double>(p.min_count) /
+                                static_cast<double>(pt.n));
+    }
+    EXPECT_DOUBLE_EQ(cert.eps_empirical, expect_eps);
+  }
+
+  // Cross-shard fold: splitting the same stream over two shards and
+  // certifying the pair must account for every node's untracked mass by
+  // ADDING min-counts across shards (the merged structure's bound), with N
+  // the drop-folded sum.
+  MonitorConfig cfg = base;
+  cfg.algorithm = pt.randomized;
+  const std::unique_ptr<HhhAlgorithm> a = make_algorithm(h, cfg);
+  cfg.seed = pt.seed + 1;
+  const std::unique_ptr<HhhAlgorithm> b = make_algorithm(h, cfg);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    (i % 2 == 0 ? a : b)->update(keys[i]);
+  }
+  const auto* sa = dynamic_cast<const RhhhSpaceSaving*>(a.get());
+  const auto* sb = dynamic_cast<const RhhhSpaceSaving*>(b.get());
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  const std::uint64_t drops = 1000;
+  const obs::AccuracyCertificate pair =
+      obs::certify_window({sa, sb}, /*epoch=*/2, drops, /*stamped_ns=*/0);
+  EXPECT_EQ(pair.stream_length, pt.n + drops);
+  EXPECT_EQ(pair.drops, drops);
+  const std::vector<BackendProbe> pa = sa->health_probes();
+  const std::vector<BackendProbe> pb = sb->health_probes();
+  ASSERT_EQ(pa.size(), pb.size());
+  double expect_eps = 0.0;
+  for (std::size_t d = 0; d < pa.size(); ++d) {
+    const double untracked =
+        sa->scale() * static_cast<double>(pa[d].min_count) +
+        sb->scale() * static_cast<double>(pb[d].min_count);
+    expect_eps =
+        std::max(expect_eps, untracked / static_cast<double>(pt.n + drops));
+  }
+  EXPECT_DOUBLE_EQ(pair.eps_empirical, expect_eps);
 }
 
 INSTANTIATE_TEST_SUITE_P(OperatingPoints, Conformance,

@@ -8,6 +8,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -17,12 +18,17 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "engine/engine.hpp"
 #include "obs/exporter.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "util/random.hpp"
@@ -30,8 +36,11 @@
 namespace rhhh {
 namespace {
 
+using obs::AccuracyCertificate;
+using obs::HealthLedger;
 using obs::MetricsExporter;
 using obs::MetricsRegistry;
+using obs::StallWatchdog;
 using obs::TraceEvent;
 using obs::TraceRing;
 
@@ -212,6 +221,190 @@ TEST(ObsTraceRing, ToStringCoversEveryEvent) {
   EXPECT_STREQ(to_string(TraceEvent::kCompaction), "compaction");
   EXPECT_STREQ(to_string(TraceEvent::kSnapshot), "snapshot");
   EXPECT_STREQ(to_string(TraceEvent::kScrape), "scrape");
+  EXPECT_STREQ(to_string(TraceEvent::kStall), "stall");
+}
+
+// -------------------------------------------------------- health ledger ----
+
+TEST(ObsHealthLedger, RegistersGaugesMirrorsNewestAndUnregisters) {
+  MetricsRegistry reg;
+  {
+    HealthLedger led(&reg, 2);
+    EXPECT_TRUE(reg.has("rhhh_health_certificates_total"));
+    EXPECT_TRUE(reg.has("rhhh_health_eps_empirical"));
+    EXPECT_TRUE(reg.has("rhhh_health_converged"));
+    AccuracyCertificate c;
+    c.epoch = 3;
+    c.stream_length = 1000;
+    c.drops = 10;
+    c.eps_configured = 0.1;
+    c.eps_empirical = 0.25;
+    c.sampling_slack = 0.05;
+    c.occupancy = 0.5;
+    c.max_saturation = 1.0;
+    c.converged = true;
+    led.stamp(c);
+    EXPECT_EQ(reg.value("rhhh_health_certificates_total"), 1.0);
+    EXPECT_EQ(reg.value("rhhh_health_window_epoch"), 3.0);
+    EXPECT_EQ(reg.value("rhhh_health_window_stream_length"), 1000.0);
+    EXPECT_EQ(reg.value("rhhh_health_window_drops"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.value("rhhh_health_eps_empirical"), 0.25);
+    EXPECT_DOUBLE_EQ(reg.value("rhhh_health_eps_configured"), 0.1);
+    EXPECT_DOUBLE_EQ(reg.value("rhhh_health_sampling_slack"), 0.05);
+    EXPECT_EQ(reg.value("rhhh_health_converged"), 1.0);
+    // keep=2: stamping two more ages epoch 3 out; newest stays in front.
+    c.epoch = 4;
+    led.stamp(c);
+    c.epoch = 5;
+    c.converged = false;
+    led.stamp(c);
+    const std::vector<AccuracyCertificate> recent = led.recent();
+    ASSERT_EQ(recent.size(), 2u);
+    EXPECT_EQ(recent[0].epoch, 5u);
+    EXPECT_EQ(recent[1].epoch, 4u);
+    EXPECT_EQ(led.stamped(), 3u);
+    EXPECT_EQ(reg.value("rhhh_health_converged"), 0.0);
+    const std::string j = led.render_json();
+    EXPECT_NE(j.find("\"stamped\":3"), std::string::npos);
+    EXPECT_NE(j.find("\"certificates\":["), std::string::npos);
+    EXPECT_NE(j.find("\"epoch\":5"), std::string::npos);
+    EXPECT_EQ(j.find("\"epoch\":3"), std::string::npos) << "aged out of keep=2";
+  }
+  EXPECT_FALSE(reg.has("rhhh_health_eps_empirical"))
+      << "the ledger must unregister its gauge_fns on destruction";
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// ------------------------------------------------------- stall watchdog ----
+
+/// Detection policy against a synthetic sampler: frozen consumed counters
+/// with backlog in the rings trips a stall within two periods, the first
+/// stalled period of the episode writes the flight recorder (trace +
+/// certificates + stats sections), and resumed progress re-arms it.
+TEST(ObsHealthWatchdog, DetectsFrozenProgressAndWritesFlightRecorder) {
+  MetricsRegistry reg;
+  HealthLedger ledger(&reg, 4);
+  AccuracyCertificate cert;
+  cert.epoch = 7;
+  cert.stream_length = 123;
+  ledger.stamp(cert);
+  TraceRing ring(64);
+  const std::string dump_path = testing::TempDir() + "obs_wd_dump.json";
+  std::remove(dump_path.c_str());
+  StallWatchdog::Config wc;
+  wc.period_ns = 20'000'000;  // 20 ms: fast test, same policy as production
+  wc.dump_path = dump_path;
+  std::atomic<bool> frozen{true};
+  std::atomic<std::uint64_t> ticks{0};
+  StallWatchdog wd(
+      wc,
+      [&] {
+        StallWatchdog::Progress p;
+        if (!frozen.load(std::memory_order_relaxed)) {
+          ticks.fetch_add(1, std::memory_order_relaxed);
+        }
+        p.consumed = ticks.load(std::memory_order_relaxed);
+        p.backlog = 10;  // rings never drain
+        return p;
+      },
+      [] { return std::string("{\"consumed\":0}"); }, &ledger, &ring, &reg);
+  EXPECT_TRUE(reg.has("rhhh_health_stall_periods_total"));
+  wd.start();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (wd.stalls() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(wd.stalls(), 1u) << "frozen progress + backlog must trip a stall";
+  EXPECT_GE(wd.stall_episodes(), 1u);
+  EXPECT_GE(reg.value("rhhh_health_stall_periods_total"), 1.0);
+  const std::string dump = wd.last_dump();
+  EXPECT_NE(dump.find("\"reason\":\"no_progress\""), std::string::npos);
+  EXPECT_NE(dump.find("\"certificates\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(dump.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(dump.find("\"backlog\":10"), std::string::npos);
+  // The flight recorder reached disk, readable and identical.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "flight-recorder file missing: " << dump_path;
+  std::stringstream file_body;
+  file_body << in.rdbuf();
+  EXPECT_NE(file_body.str().find("\"reason\":\"no_progress\""),
+            std::string::npos);
+  // kStall landed in the trace ring (arg1 carries the backlog).
+  bool saw_stall = false;
+  for (const obs::TraceRecord& r : ring.dump()) {
+    if (r.event == TraceEvent::kStall) {
+      saw_stall = true;
+      EXPECT_EQ(r.arg1, 10u);
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+  // Progress re-arms the episode counter: no new episode while advancing.
+  frozen.store(false, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::uint64_t episodes_after_recovery = wd.stall_episodes();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(wd.stall_episodes(), episodes_after_recovery)
+      << "advancing progress must not open new stall episodes";
+  wd.stop();
+  wd.stop();  // idempotent
+  std::remove(dump_path.c_str());
+}
+
+/// Acceptance criterion: a deliberately stalled engine (worker parked via
+/// the test hook while records sit in its rings) is detected by the
+/// engine-integrated watchdog, with a readable flight-recorder dump.
+TEST(ObsHealthWatchdog, DeliberatelyStalledEngineIsDetected) {
+  MetricsRegistry reg;
+  const std::string dump_path = testing::TempDir() + "obs_engine_stall.json";
+  std::remove(dump_path.c_str());
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.producers = 1;
+  cfg.metrics = &reg;
+  // Drop-tail: a kBlock producer would spin forever against the parked
+  // worker; with drop-tail the flush returns and the full ring IS the
+  // backlog the watchdog must see.
+  cfg.overflow = OverflowPolicy::kDropTail;
+  cfg.health.watchdog_millis = 20;
+  cfg.health.dump_path = dump_path;
+  HhhEngine eng(cfg);
+  ASSERT_NE(eng.health(), nullptr);
+  ASSERT_NE(eng.watchdog(), nullptr);
+  eng.test_block_worker(0);  // park the only consumer before it ever runs
+  eng.start();
+  HhhEngine::Producer& p = eng.producer(0);
+  Xoroshiro128 rng(11);
+  for (int i = 0; i < 50000; ++i) p.ingest(Key128{rng(), rng()});
+  p.flush();  // ring now holds backlog no one is draining
+  // Steady state (frozen consumed + backlog) needs two watchdog samples:
+  // detection within 2 periods of the first post-stall sample. The poll
+  // deadline is generous for loaded CI machines; typical detection is
+  // ~2-3 periods.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (eng.watchdog()->stalls() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(eng.watchdog()->stalls(), 1u)
+      << "a parked worker with ring backlog must read as a stall";
+  EXPECT_GE(eng.watchdog()->stall_episodes(), 1u);
+  const std::string dump = eng.watchdog()->last_dump();
+  EXPECT_NE(dump.find("\"reason\":\"no_progress\""), std::string::npos);
+  EXPECT_NE(dump.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(dump.find("\"window_epochs\""), std::string::npos);
+  std::ifstream in(dump_path);
+  EXPECT_TRUE(in.good()) << "flight-recorder file missing: " << dump_path;
+  eng.test_unblock_workers();
+  eng.stop();
+  // The unparked worker's shutdown drain recovers every queued record.
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.offered, s.consumed + s.dropped);
+  EXPECT_GT(s.consumed, 0u);
+  std::remove(dump_path.c_str());
 }
 
 // ------------------------------------------------------------ exporter ----
@@ -247,6 +440,134 @@ TEST(ObsExporter, ServesAllRoutes) {
   exp.stop();
   EXPECT_FALSE(exp.running());
   exp.stop();  // idempotent
+}
+
+/// /trace?n=K serves only the newest K events; bare /trace is unlimited
+/// and a non-numeric n falls back to the full dump.
+TEST(ObsExporter, TraceQueryLimitsToNewestEvents) {
+  MetricsRegistry reg;
+  TraceRing ring(32);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ring.record(TraceEvent::kScrape, i, static_cast<std::uint64_t>(i), 0);
+  }
+  MetricsExporter exp(reg, &ring);
+  exp.start(0);
+  const auto count_events = [](const std::string& body) {
+    std::size_t n = 0;
+    for (std::size_t p = body.find("\"seq\":"); p != std::string::npos;
+         p = body.find("\"seq\":", p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  const std::string all = obs::http_get_local(exp.port(), "/trace");
+  EXPECT_EQ(count_events(all), 10u);
+  const std::string three = obs::http_get_local(exp.port(), "/trace?n=3");
+  EXPECT_NE(three.find("200 OK"), std::string::npos);
+  EXPECT_EQ(count_events(three), 3u);
+  EXPECT_NE(three.find("\"seq\":9"), std::string::npos) << "newest kept";
+  EXPECT_EQ(three.find("\"seq\":0,"), std::string::npos) << "oldest trimmed";
+  const std::string none = obs::http_get_local(exp.port(), "/trace?n=0");
+  EXPECT_EQ(count_events(none), 0u);
+  // "recorded" still reports the full count even when the dump is trimmed.
+  EXPECT_NE(none.find("\"recorded\":10"), std::string::npos);
+  const std::string junk = obs::http_get_local(exp.port(), "/trace?n=zap");
+  EXPECT_EQ(count_events(junk), 10u);
+  exp.stop();
+}
+
+/// /health 404s without a source, serves the ledger once attached, and
+/// 404s again after detach -- the exporter-before-engine construction
+/// order the demos use.
+TEST(ObsExporter, HealthRouteFollowsAttachedLedger) {
+  MetricsRegistry reg;
+  MetricsExporter exp(reg);
+  exp.start(0);
+  EXPECT_NE(obs::http_get_local(exp.port(), "/health").find("404"),
+            std::string::npos);
+  HealthLedger ledger(nullptr, 4);
+  AccuracyCertificate c;
+  c.epoch = 42;
+  c.stream_length = 99;
+  ledger.stamp(c);
+  exp.set_health_source(&ledger);
+  const std::string body = obs::http_get_local(exp.port(), "/health");
+  EXPECT_NE(body.find("200 OK"), std::string::npos);
+  EXPECT_NE(body.find("application/json"), std::string::npos);
+  EXPECT_NE(body.find("\"certificates\":["), std::string::npos);
+  EXPECT_NE(body.find("\"epoch\":42"), std::string::npos);
+  exp.set_health_source(nullptr);
+  EXPECT_NE(obs::http_get_local(exp.port(), "/health").find("404"),
+            std::string::npos);
+  exp.stop();
+}
+
+// ------------------------------------------------- malformed requests ----
+
+/// Send an arbitrary byte payload (optionally half-closing the write side)
+/// and return whatever the exporter answers -- http_get_local always forms
+/// valid GETs, so the 4xx paths need a raw client.
+std::string raw_http(std::uint16_t port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  obs::detail::send_all(fd, payload);
+  ::shutdown(fd, SHUT_WR);
+  std::string resp;
+  char buf[4096];
+  struct pollfd pfd = {fd, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, 5000);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+/// Non-GET methods, unparseable request lines, and heads exceeding the
+/// read cap each get a clean 4xx and a close -- never a hang (the 5 s
+/// client poll timeout above is the hang detector).
+TEST(ObsExporterMalformed, BadRequestsGetClean4xxAndClose) {
+  MetricsRegistry reg;
+  reg.counter("obs_malformed_total").add(1);
+  MetricsExporter exp(reg);
+  exp.start(0);
+
+  const std::string post =
+      raw_http(exp.port(), "POST /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos);
+  EXPECT_NE(post.find("Connection: close"), std::string::npos);
+
+  const std::string junk = raw_http(exp.port(), "garbage\r\n\r\n");
+  EXPECT_NE(junk.find("400 Bad Request"), std::string::npos);
+
+  const std::string empty = raw_http(exp.port(), "");
+  EXPECT_NE(empty.find("400 Bad Request"), std::string::npos)
+      << "a client that closes without sending still gets an answer";
+
+  // An oversized request line: > 16 KiB with no header terminator.
+  const std::string oversized = "GET /" + std::string(20 * 1024, 'a');
+  const std::string too_long = raw_http(exp.port(), oversized);
+  EXPECT_NE(too_long.find("414 URI Too Long"), std::string::npos);
+
+  // The exporter survived all of it and still serves real scrapes.
+  const std::string ok = obs::http_get_local(exp.port(), "/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("obs_malformed_total 1"), std::string::npos);
+  EXPECT_GE(exp.scrapes(), 5u);
+  exp.stop();
 }
 
 // ------------------------------------------------- EINTR resilience ----
